@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one artefact of the paper's Section 4
+(figure, table, or in-text analysis) and prints the same rows/series
+the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(the ``-s`` shows the regenerated tables inline; without it they are
+shown for failing tests only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerator import DistanceAccelerator
+
+
+@pytest.fixture(scope="session")
+def accelerator() -> DistanceAccelerator:
+    """The Fig. 5 measurement chip: computation-only, no converters."""
+    return DistanceAccelerator(quantise_io=False)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2017)
+
+
+def print_section(title: str, body: str) -> None:
+    bar = "=" * 70
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,51 @@
+"""A4 — Extension: Monte-Carlo chip variation and parametric yield.
+
+Beyond the paper's single simulated chip: sweep fabricated-chip
+instances (systematic offsets, comparator thresholds, residual ratio
+errors all re-drawn per seed), print the across-chip error
+distribution, and the yield-vs-tuning-quality curve that connects the
+Section 3.3 tuning spec to manufacturability.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import run_monte_carlo, yield_vs_tolerance
+
+from conftest import print_section
+
+
+def test_monte_carlo_yield(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_monte_carlo(
+            "dtw",
+            n_chips=16,
+            length=14,
+            specification=0.05,
+            pairs_per_chip=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    errors = np.array([c.mean_error for c in result.chips])
+    assert errors.std() > 0.0  # chips genuinely differ
+    assert result.yield_fraction >= 0.75  # the tuned design yields
+
+    curve = yield_vs_tolerance(
+        "dtw",
+        tolerances=(0.0, 0.01, 0.05),
+        n_chips=10,
+        length=14,
+        specification=0.04,
+        pairs_per_chip=1,
+    )
+    assert curve[0.0] >= curve[0.05]
+
+    rows = [result.table(), ""]
+    rows.append(f"{'ratio tolerance':>16} {'yield':>7}")
+    for tolerance, y in sorted(curve.items()):
+        rows.append(f"{tolerance:>16.3f} {y:>6.0%}")
+    print_section(
+        "Extension A4 — Monte-Carlo chip variation & parametric yield",
+        "\n".join(rows),
+    )

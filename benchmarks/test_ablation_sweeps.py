@@ -1,0 +1,79 @@
+"""A3 — Ablation: Sakoe-Chiba band fraction and voltage resolution.
+
+The paper fixes R = 5% x n (power analysis) and 20 mV per unit
+(Table 1) without exploring either; these sweeps quantify the
+trade-offs behind those choices.
+"""
+
+import pytest
+
+from repro.eval import run_band_sweep, run_resolution_sweep
+
+from conftest import print_section
+
+
+def test_band_fraction_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_band_sweep(
+            fractions=(0.025, 0.05, 0.1, 0.25, 1.0),
+            length=20,
+            n_pairs=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Wider bands track unconstrained DTW more closely...
+    gaps = [r.mean_abs_band_gap for r in rows]
+    assert gaps[-1] == pytest.approx(0.0, abs=1e-9)
+    assert gaps[0] >= gaps[-1]
+    # ...but cost more active PEs (power).
+    pes = [r.active_pes_at_128 for r in rows]
+    assert pes == sorted(pes)
+
+    lines = [
+        f"{'band R/n':>9} {'gap to full DTW':>16} "
+        f"{'hw rel. error':>14} {'active PEs @128':>16}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.band_fraction:>9.3f} {r.mean_abs_band_gap:>16.3f} "
+            f"{r.mean_relative_error_vs_sw:>13.2%} "
+            f"{r.active_pes_at_128:>16.0f}"
+        )
+    print_section(
+        "Ablation A3a — Sakoe-Chiba band fraction", "\n".join(lines)
+    )
+
+
+def test_voltage_resolution_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_resolution_sweep(
+            resolutions_mv=(5.0, 10.0, 20.0, 40.0),
+            length=20,
+            n_pairs=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Output voltage scales with the resolution.
+    volts = [r.max_output_voltage for r in rows]
+    assert volts == sorted(volts)
+    # The Table 1 choice (20 mV) stays accurate and rail-safe here.
+    by_res = {r.resolution_mv: r for r in rows}
+    assert by_res[20.0].mean_relative_error < 0.05
+    assert by_res[20.0].overflow_fraction == 0.0
+
+    lines = [
+        f"{'res (mV)':>9} {'rel. error':>11} {'overflow':>9} "
+        f"{'max Vout (V)':>13}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.resolution_mv:>9.0f} {r.mean_relative_error:>10.2%} "
+            f"{r.overflow_fraction:>8.0%} "
+            f"{r.max_output_voltage:>13.3f}"
+        )
+    print_section(
+        "Ablation A3b — voltage resolution (value -> volts scale)",
+        "\n".join(lines),
+    )

@@ -1,0 +1,55 @@
+"""A5 — Extension: data-center deployment comparison.
+
+Quantifies the paper's Section 1 argument end to end: a mixed mining
+stream (iris HamD, ECG LCS, vehicle DTW, generic traffic) served by
+(a) the reconfigurable accelerator, (b) a CPU, (c) a farm of
+single-function accelerators — latency, utilisation, energy per query,
+and the drop rate of a partial farm.
+"""
+
+import pytest
+
+from repro.datacenter import (
+    SingleFunctionFarm,
+    WorkloadSpec,
+    comparison_table,
+    generate_workload,
+    simulate_accelerator,
+    simulate_cpu,
+    simulate_farm,
+)
+
+from conftest import print_section
+
+
+def test_deployment_comparison(benchmark):
+    spec = WorkloadSpec(
+        arrival_rate_hz=3.0e5, duration_s=3.0e-3, seed=5
+    )
+    queries = generate_workload(spec)
+
+    acc = benchmark(lambda: simulate_accelerator(queries))
+    cpu = simulate_cpu(queries)
+    farm = simulate_farm(queries)
+
+    # The paper's claims, as deployment-level outcomes:
+    # real-time: orders-of-magnitude lower latency than CPU serving.
+    assert acc.mean_sojourn_s < cpu.mean_sojourn_s / 10
+    # energy-efficient: >100x less energy per query than CPU or farm.
+    assert acc.energy_per_query_j < cpu.energy_per_query_j / 100
+    assert acc.energy_per_query_j < farm.energy_per_query_j / 100
+    # nothing dropped: one array serves every function.
+    assert acc.dropped == 0
+
+    partial = simulate_farm(
+        queries, SingleFunctionFarm(functions=["dtw", "hamming"])
+    )
+    assert partial.dropped > 0  # the single-function failure mode
+
+    print_section(
+        "Extension A5 — data-center deployment comparison",
+        comparison_table([acc, cpu, farm])
+        + f"\npartial farm (DTW+HamD only) drops "
+        f"{partial.dropped}/{len(queries)} queries "
+        f"({partial.dropped / len(queries):.0%})",
+    )

@@ -1,0 +1,107 @@
+"""F5 — Fig. 5: convergence time and relative error vs sequence length.
+
+Regenerates the six panels' series (lengths 10-40, the paper's sweep)
+and checks the paper's qualitative findings:
+
+* convergence time ~linear in length for all functions except HauD;
+* HauD convergence time roughly constant beyond length ~10;
+* DTW and EdD have the largest relative errors;
+* HamD/MD relative errors grow with length.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    growth_ratio,
+    linearity_score,
+    run_fig5,
+)
+
+from conftest import print_section
+
+LENGTHS = (10, 20, 30, 40)
+
+
+@pytest.fixture(scope="module")
+def fig5_result(accelerator):
+    return run_fig5(
+        lengths=LENGTHS,
+        datasets=("Symbols",),
+        accelerator=accelerator,
+        measure_time=True,
+    )
+
+
+def test_fig5_regenerate_and_check_shape(benchmark, fig5_result, accelerator):
+    result = fig5_result
+
+    # Benchmark one representative measurement (DTW, n=20).
+    from repro.datasets import load_dataset, sample_pairs
+
+    p, q, _ = sample_pairs(load_dataset("Symbols"), 20, seed=1)[0]
+    benchmark(
+        lambda: accelerator.compute("dtw", p, q, measure_time=True)
+    )
+
+    # Linearity of convergence time for the five non-HauD functions.
+    for function in ("dtw", "lcs", "edit", "hamming", "manhattan"):
+        lengths, times, _ = result.series(function)
+        assert linearity_score(lengths, times) > 0.95, function
+        assert growth_ratio(times) > 1.8, function
+
+    # HauD flat beyond ~10.
+    _, haud_times, _ = result.series("hausdorff")
+    assert growth_ratio(haud_times) < 1.6
+
+    print_section(
+        "Fig. 5 — convergence time & relative error vs length "
+        "(dataset: Symbols)",
+        result.table(),
+    )
+
+
+def test_fig5_error_ordering(benchmark, fig5_result):
+    # Benchmark the software reference the errors are measured against.
+    from repro.distances import dtw
+
+    rng = np.random.default_rng(0)
+    p, q = rng.normal(size=40), rng.normal(size=40)
+    benchmark(lambda: dtw(p, q))
+
+    # "the relative error of DTW and EdD is larger than others'"
+    mean_err = {}
+    for function in (
+        "dtw",
+        "lcs",
+        "edit",
+        "hausdorff",
+        "hamming",
+        "manhattan",
+    ):
+        _, _, errors = fig5_result.series(function)
+        mean_err[function] = float(np.mean(errors))
+    slowest_two = sorted(mean_err, key=mean_err.get)[-2:]
+    assert "dtw" in slowest_two or "edit" in slowest_two
+
+    # "each sub-module of these two algorithms is attached with a
+    # fixed small absolute error [which] is added to the final result
+    # linearly" — probe the pure accumulated bias with identical
+    # sequences (true distance 0): it must grow with length.
+    from repro.accelerator import DistanceAccelerator
+    from repro.analog import NonidealityModel
+
+    def mean_bias(n: int) -> float:
+        values = []
+        for seed in range(8):  # average over chip instances
+            chip = DistanceAccelerator(
+                nonideality=NonidealityModel(seed=seed),
+                quantise_io=False,
+            )
+            zeros = np.zeros(n)
+            values.append(
+                abs(chip.compute("manhattan", zeros, zeros).value)
+            )
+        return float(np.mean(values))
+
+    assert mean_bias(40) > mean_bias(10)

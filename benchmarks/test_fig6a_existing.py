@@ -1,0 +1,55 @@
+"""F6a — Fig. 6(a): per-element speedup vs existing works.
+
+Measures the accelerator's per-element latency at length 40 for each
+function (early determination applied to HamD/MD, as the paper does),
+compares against the modelled prior accelerators, and checks the
+paper's claims: a ~3.5x-376x speedup band with LCS and HamD among the
+largest speedups.
+"""
+
+import pytest
+
+from repro.eval import run_fig6a
+
+from conftest import print_section
+
+
+@pytest.fixture(scope="module")
+def fig6a_result(accelerator):
+    return run_fig6a(length=40, accelerator=accelerator)
+
+
+def test_fig6a_speedups(benchmark, fig6a_result, accelerator):
+    from repro.datasets import load_dataset, sample_pairs
+
+    p, q, _ = sample_pairs(load_dataset("Symbols"), 40, seed=7)[0]
+    benchmark(
+        lambda: accelerator.compute(
+            "manhattan", p, q, measure_time=True
+        )
+    )
+
+    result = fig6a_result
+    lo, hi = result.speedup_range
+    # The paper's band: 3.5x-376x.  Our measured latencies move a
+    # little run to run, so allow modest slack at both ends.
+    assert 2.5 < lo < 6.0
+    assert 250.0 < hi < 500.0
+
+    by_name = {r.function: r for r in result.rows}
+    # LCS and HamD called out as the fastest ("runtime of LCS and
+    # HamD in our work is shorter than that of others").
+    speedups = sorted(result.rows, key=lambda r: r.speedup)
+    top_two = {speedups[-1].function, speedups[-2].function}
+    assert top_two == {"lcs", "hamming"}
+    # DTW against the FPGA prior is the floor.
+    assert speedups[0].function == "dtw"
+    # Early determination applied exactly to the row functions.
+    assert by_name["hamming"].early_determination
+    assert by_name["manhattan"].early_determination
+    assert not by_name["dtw"].early_determination
+
+    print_section(
+        "Fig. 6(a) — per-element speedup vs existing works (n = 40)",
+        result.table(),
+    )

@@ -1,0 +1,73 @@
+"""F6b — Fig. 6(b): runtime and speedup vs a CPU implementation.
+
+Regenerates the length sweep against the i5-3470 cycle model (and a
+wall-clock measurement of this machine's software implementation for
+reference), checking the paper's claims: the speedup grows with
+sequence length, and is smaller for the O(n) HamD/MD than for the
+O(n^2) functions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import measure_cpu_time
+from repro.eval import run_fig6b
+
+from conftest import print_section
+
+LENGTHS = (10, 20, 30, 40)
+
+
+@pytest.fixture(scope="module")
+def fig6b_result(accelerator):
+    return run_fig6b(lengths=LENGTHS, accelerator=accelerator)
+
+
+def test_fig6b_speedup_shape(benchmark, fig6b_result, rng):
+    # Benchmark the actual software DTW this machine runs, for the
+    # honest local comparison row.
+    p, q = rng.normal(size=40), rng.normal(size=40)
+    measurement = benchmark(
+        lambda: measure_cpu_time("dtw", p, q, repeats=1)
+    )
+
+    result = fig6b_result
+    # Speedup grows with length for every O(n^2) function.
+    for function in ("dtw", "lcs", "edit"):
+        _, _, speedups = result.series(function)
+        assert speedups[-1] > speedups[0], function
+
+    # O(n) functions have smaller speedups than O(n^2) at n = 40.
+    by_key = {
+        (point.function, point.length): point
+        for point in result.points
+    }
+    assert (
+        by_key[("manhattan", 40)].speedup_vs_model
+        < by_key[("dtw", 40)].speedup_vs_model
+    )
+    assert (
+        by_key[("hamming", 40)].speedup_vs_model
+        < by_key[("edit", 40)].speedup_vs_model
+    )
+
+    # Every function is faster than the modelled CPU at n = 40.
+    for function in (
+        "dtw",
+        "lcs",
+        "edit",
+        "hausdorff",
+        "hamming",
+        "manhattan",
+    ):
+        assert by_key[(function, 40)].speedup_vs_model > 1.0
+
+    wall_note = (
+        f"\nlocal wall-clock reference: software DTW n=40 takes "
+        f"{measurement.measured_s*1e6:.1f} us on this machine "
+        f"(i5-3470 model: {measurement.modelled_s*1e6:.2f} us)"
+    )
+    print_section(
+        "Fig. 6(b) — runtime and speedup vs CPU (i5-3470 model)",
+        result.table() + wall_note,
+    )

@@ -1,0 +1,54 @@
+"""P — Section 4.3: power and energy-efficiency analysis.
+
+Regenerates the in-text power table (per-function accelerator power,
+existing-work power, energy-efficiency improvement) and checks it
+against every number the paper prints: the DTW breakdown
+(0.20 / 0.13 / 0.026 / 0.22 W), the six totals, and the lower end of
+the energy band (~26.7x; see EXPERIMENTS.md on the upper end).
+"""
+
+import pytest
+
+from repro.accelerator import (
+    PAPER_REPORTED_POWER_W,
+    accelerator_power,
+)
+from repro.eval import run_fig6a, run_power_table
+
+from conftest import print_section
+
+
+@pytest.fixture(scope="module")
+def power_table(accelerator):
+    speedups = {
+        row.function: row.speedup
+        for row in run_fig6a(length=40, accelerator=accelerator).rows
+    }
+    return run_power_table(speedups=speedups)
+
+
+def test_power_and_energy(benchmark, power_table):
+    breakdown = benchmark(lambda: accelerator_power("dtw"))
+
+    # The paper's worked DTW example, component by component.
+    assert breakdown.opamp_w == pytest.approx(0.20, abs=0.01)
+    assert breakdown.dac_w == pytest.approx(0.13, abs=0.005)
+    assert breakdown.adc_w == pytest.approx(0.026, abs=0.002)
+    assert breakdown.memristor_w == pytest.approx(0.22, abs=0.01)
+    assert breakdown.total_w == pytest.approx(0.58, abs=0.01)
+
+    # All six totals.
+    for row in power_table.rows:
+        assert row.ours_w == pytest.approx(
+            PAPER_REPORTED_POWER_W[row.function], rel=0.02
+        ), row.function
+
+    # Energy-efficiency improvements: at least one order of magnitude
+    # everywhere; the DTW floor lands at the paper's ~26.7x.
+    lo, hi = power_table.energy_range
+    assert 20.0 < lo < 40.0
+    assert hi > 1000.0
+
+    print_section(
+        "Section 4.3 — power and energy efficiency", power_table.table()
+    )

@@ -1,0 +1,68 @@
+"""T1 — Table 1: SPICE parameters for the distance accelerator setup.
+
+Verifies the simulators are configured exactly to Table 1 and prints
+the derived electrical quantities (op-amp pole, stage time constants,
+parasitic budget); benchmarks the settling of one Table 1-configured
+subtractor stage in the SPICE engine.
+"""
+
+import pytest
+
+from repro.accelerator import PAPER_PARAMS
+from repro.analog import DEFAULT_TIMING
+from repro.spice import (
+    Circuit,
+    PAPER_OPAMP,
+    PARASITIC_CAPACITANCE,
+    add_parasitics,
+    build_subtractor,
+    transient,
+)
+
+from conftest import print_section
+
+
+def _table1_rows() -> str:
+    lines = [
+        f"{'parameter':<42} {'value':>16}",
+        f"{'Open loop gain of op-amp':<42} {PAPER_OPAMP.open_loop_gain:>16.0e}",
+        f"{'Gain-bandwidth product of op-amp (GHz)':<42} {PAPER_OPAMP.gbw_hz/1e9:>16.0f}",
+        f"{'Vcc (V)':<42} {PAPER_PARAMS.vcc:>16.1f}",
+        f"{'Voltage resolution (mV for 1)':<42} {PAPER_PARAMS.voltage_resolution*1e3:>16.0f}",
+        f"{'Threshold voltage of diodes (V)':<42} {0.0:>16.1f}",
+        f"{'Parasitic capacitance per net (fF)':<42} {PARASITIC_CAPACITANCE*1e15:>16.0f}",
+        "-" * 60,
+        f"{'derived: op-amp dominant pole (MHz)':<42} {PAPER_OPAMP.pole_frequency_hz/1e6:>16.1f}",
+        f"{'derived: amp-stage tau (ns)':<42} {DEFAULT_TIMING.opamp_tau(2.0)*1e9:>16.2f}",
+    ]
+    return "\n".join(lines)
+
+
+def test_table1_configuration_and_stage_settling(benchmark):
+    assert PAPER_OPAMP.open_loop_gain == 1e4
+    assert PAPER_OPAMP.gbw_hz == 50e9
+    assert PAPER_PARAMS.vcc == 1.0
+    assert PAPER_PARAMS.voltage_resolution == pytest.approx(20e-3)
+    assert PARASITIC_CAPACITANCE == pytest.approx(20e-15)
+
+    def settle_one_stage():
+        circuit = Circuit()
+        circuit.add_vsource(
+            "vp", "p", "0", lambda t: 0.3 if t > 0 else 0.0
+        )
+        circuit.add_vsource("vq", "q", "0", 0.1)
+        build_subtractor(circuit, "s", "p", "q", "out")
+        add_parasitics(circuit)
+        result = transient(
+            circuit, t_stop=15e-9, dt=50e-12, record=["out"]
+        )
+        return result.settling_time("out", 1e-3)
+
+    settle = benchmark(settle_one_stage)
+    assert 0.5e-9 < settle < 10e-9  # the paper's ns-scale narrative
+    print_section(
+        "Table 1 — SPICE parameters (configured values + derived)",
+        _table1_rows()
+        + f"\nmeasured: one subtractor stage settles in "
+        f"{settle*1e9:.2f} ns (0.1% criterion)",
+    )

@@ -1,0 +1,74 @@
+"""T2 — Table 2: stochastic Biolek model parameters.
+
+Prints the switching-probability curve implied by the Table 2
+parameters and quantifies the Section 4.2 robustness claim: at compute
+voltages (<= Vcc/4) and compute times (~ns), the probability of any
+stochastic resistance change across the whole array over hundreds of
+runs is negligible.  Benchmarks a batch of stochastic-device exposures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.memristor import (
+    PAPER_PARAMETERS,
+    StochasticMemristor,
+    expected_disturb_probability,
+    switching_probability,
+)
+
+from conftest import print_section
+
+
+def _curve_rows() -> str:
+    lines = [f"{'|V| (V)':>8} {'P(switch in 1 us)':>20} {'mean time (s)':>15}"]
+    from repro.memristor import switching_rate
+
+    for v in (0.25, 0.5, 1.0, 2.0, 3.0, 3.5, 4.0, 4.5):
+        rate = switching_rate(v)
+        mean = 1.0 / rate if rate > 0 else float("inf")
+        lines.append(
+            f"{v:>8.2f} {switching_probability(v, 1e-6):>20.3e} "
+            f"{mean:>15.3e}"
+        )
+    return "\n".join(lines)
+
+
+def test_table2_parameters_and_disturb_immunity(benchmark, rng):
+    p = PAPER_PARAMETERS
+    assert (p.v0, p.tau, p.v_t0, p.delta_v) == (
+        0.156,
+        2.85e5,
+        3.0,
+        0.2,
+    )
+    assert (p.r_off, p.r_on, p.delta_r) == (100e3, 1e3, 0.05)
+
+    # Section 4.2 claim: sub-threshold compute voltages + ns compute
+    # times + hundreds of runs => no stochastic flips.
+    n_devices = 128 * 128 * 14  # full array, 7 op-amps x 2 memristors
+    runs = 500
+    p_any = expected_disturb_probability(
+        compute_voltage=0.25,
+        compute_time=runs * 100e-9,
+        n_devices=n_devices,
+    )
+    assert p_any < 1e-9
+
+    def expose_batch():
+        device = StochasticMemristor(
+            x=0.0, rng=np.random.default_rng(1)
+        )
+        flips = 0
+        for _ in range(200):
+            flips += device.expose(0.25, 100e-9)
+        return flips
+
+    flips = benchmark(expose_batch)
+    assert flips == 0
+    print_section(
+        "Table 2 — stochastic Biolek switching law",
+        _curve_rows()
+        + f"\nP(any flip | full array, {runs} runs @ 0.25 V, 100 ns)"
+        f" = {p_any:.2e}  (Section 4.2: 'rather low')",
+    )

@@ -1,0 +1,67 @@
+"""Deployment study: serving a mixed mining stream three ways.
+
+Generates the paper's Section 1 workload (iris HamD + ECG LCS +
+vehicle DTW + generic traffic) as a Poisson stream and compares three
+data-center deployments end to end: the reconfigurable accelerator,
+a CPU, and a farm of single-function accelerators — including the
+failure mode the paper highlights (a partial farm simply cannot serve
+functions it has no device for).
+
+Run:  python examples/datacenter_deployment.py
+"""
+
+from repro.datacenter import (
+    SingleFunctionFarm,
+    WorkloadSpec,
+    comparison_table,
+    generate_workload,
+    mix_of,
+    simulate_accelerator,
+    simulate_cpu,
+    simulate_farm,
+)
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        arrival_rate_hz=3.0e5, duration_s=3.0e-3, seed=11
+    )
+    queries = generate_workload(spec)
+    print(
+        f"{len(queries)} queries over {spec.duration_s * 1e3:.0f} ms "
+        f"({spec.arrival_rate_hz:.0e}/s); mix:"
+    )
+    for function, fraction in mix_of(queries).items():
+        print(f"  {function:<10} {fraction:>5.1%}")
+
+    results = [
+        simulate_accelerator(queries),
+        simulate_cpu(queries),
+        simulate_farm(queries),
+    ]
+    print()
+    print(comparison_table(results))
+
+    partial = simulate_farm(
+        queries, SingleFunctionFarm(functions=["dtw", "hamming"])
+    )
+    print(
+        f"\npartial farm (DTW+HamD devices only): served "
+        f"{partial.served}, dropped {partial.dropped} "
+        f"({partial.dropped / len(queries):.0%} of traffic has no "
+        f"device) — the single-function problem the paper opens with"
+    )
+
+    acc, cpu, farm = results
+    print(
+        f"\nenergy per query: accelerator "
+        f"{acc.energy_per_query_j * 1e6:.3f} uJ vs CPU "
+        f"{cpu.energy_per_query_j * 1e6:.1f} uJ "
+        f"({cpu.energy_per_query_j / acc.energy_per_query_j:.0f}x) vs "
+        f"farm {farm.energy_per_query_j * 1e6:.1f} uJ "
+        f"({farm.energy_per_query_j / acc.energy_per_query_j:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

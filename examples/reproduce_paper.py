@@ -1,0 +1,24 @@
+"""Regenerate every table and figure of the paper's Section 4.
+
+Runs the full experiment harness (Fig. 5, Fig. 6(a), Fig. 6(b), the
+Section 4.3 power analysis) and prints the paper-style tables.  Use
+``--quick`` for a reduced sweep (seconds instead of minutes).
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+
+from repro.eval import full_report
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv[1:]
+    if quick:
+        print("running reduced sweeps (--quick)\n")
+    report = full_report(quick=quick)
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

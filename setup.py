@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package remains installable with ``python setup.py
+develop`` on machines without the ``wheel`` package (PEP 660 editable
+installs need it, legacy develop mode does not).
+"""
+
+from setuptools import setup
+
+setup()

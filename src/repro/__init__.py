@@ -1,0 +1,52 @@
+"""repro — reproduction of the DAC'17 memristor-based distance accelerator.
+
+Layered architecture (bottom up):
+
+* :mod:`repro.memristor` — device models (Biolek, stochastic Biolek),
+  process variation, resistance tuning, crossbar structures.
+* :mod:`repro.spice` — an MNA circuit simulator used to validate the
+  analog building blocks at element level.
+* :mod:`repro.analog` — a fast behavioural block-graph simulator for
+  full PE arrays (convergence time + error measurement).
+* :mod:`repro.distances` — software reference implementations of the
+  six distance functions.
+* :mod:`repro.accelerator` — the reconfigurable distance accelerator:
+  PEs, configuration library, DAC/ADC, tiling, power model.
+* :mod:`repro.datasets`, :mod:`repro.mining` — UCR-style data and the
+  data-mining tasks the paper motivates.
+* :mod:`repro.baselines`, :mod:`repro.eval` — CPU/literature baselines
+  and the per-figure experiment harness.
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    accelerator,
+    analog,
+    baselines,
+    datacenter,
+    datasets,
+    distances,
+    errors,
+    eval,
+    memristor,
+    mining,
+    spice,
+    validation,
+)
+
+__all__ = [
+    "__version__",
+    "accelerator",
+    "analog",
+    "baselines",
+    "datacenter",
+    "datasets",
+    "distances",
+    "errors",
+    "eval",
+    "memristor",
+    "mining",
+    "spice",
+    "validation",
+]

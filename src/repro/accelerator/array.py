@@ -1,0 +1,577 @@
+"""The reconfigurable distance accelerator (Fig. 1) — public API.
+
+:class:`DistanceAccelerator` glues the four architecture modules
+together: the DAC array quantising inputs, the computation module (PE
+block graphs from :mod:`repro.accelerator.pe`, configured through the
+configuration library), the control/configuration module (this class:
+dataflow, tiling, overflow monitoring), and the ADC array reading the
+result.
+
+>>> from repro.accelerator import DistanceAccelerator
+>>> acc = DistanceAccelerator()
+>>> acc.compute("dtw", [0.0, 1.0, 2.0], [0.0, 1.0, 2.0]).value
+0.0...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..analog import (
+    BlockGraph,
+    DEFAULT_NONIDEALITY,
+    DEFAULT_TIMING,
+    NonidealityModel,
+    TimingModel,
+    dc_solve,
+    measure_convergence,
+)
+from ..errors import CapacityError, ConfigurationError
+from ..validation import (
+    as_sequence,
+    as_weight_matrix,
+    as_weight_vector,
+    require_same_length,
+)
+from .configurations import FunctionConfig, get_config
+from .dac_adc import AdcArray, DacArray
+from .params import AcceleratorParameters, PAPER_PARAMS
+from .pe import (
+    build_dtw_graph,
+    build_edit_graph,
+    build_hamming_graph,
+    build_hausdorff_graph,
+    build_lcs_graph,
+    build_manhattan_graph,
+)
+from .tiling import plan_matrix_tiles, plan_row_segments
+
+
+@dataclasses.dataclass
+class AcceleratorResult:
+    """Everything one accelerator invocation produces.
+
+    Attributes
+    ----------
+    value:
+        The decoded distance, in the same units as the software
+        reference implementations.
+    raw_voltage:
+        Settled analog output before the ADC.
+    adc_voltage:
+        Output after ADC quantisation (equals ``raw_voltage`` when
+        quantisation is disabled).
+    convergence_time_s:
+        Analog convergence time (the paper's Section 4.2 metric);
+        ``None`` unless ``measure_time=True``.
+    conversion_time_s:
+        DAC load + ADC read latency.
+    total_time_s:
+        ``convergence + conversion`` when timing was measured.
+    tiles:
+        Number of array passes (1 = fits the array).
+    overflow:
+        True when any analog voltage approached the supply rail or the
+        ADC clipped — the result is untrustworthy.
+    n_blocks:
+        Total analog stages simulated (proxy for active PE resources).
+    """
+
+    function: str
+    value: float
+    raw_voltage: float
+    adc_voltage: float
+    convergence_time_s: Optional[float]
+    conversion_time_s: float
+    total_time_s: Optional[float]
+    tiles: int
+    overflow: bool
+    n_blocks: int
+
+
+class DistanceAccelerator:
+    """A configured accelerator chip instance.
+
+    Parameters
+    ----------
+    params:
+        Electrical/architectural constants (default: Table 1 values).
+    nonideality:
+        Analog error model; one instance = one fabricated chip.
+    timing:
+        Stage time-constant model.
+    dac, adc:
+        Converter arrays; defaults follow the Section 4.3 designs.
+    quantise_io:
+        Model DAC/ADC quantisation (disable for ideal-converter
+        ablations).
+    """
+
+    def __init__(
+        self,
+        params: AcceleratorParameters = PAPER_PARAMS,
+        nonideality: NonidealityModel = DEFAULT_NONIDEALITY,
+        timing: TimingModel = DEFAULT_TIMING,
+        dac: Optional[DacArray] = None,
+        adc: Optional[AdcArray] = None,
+        quantise_io: bool = True,
+    ) -> None:
+        self.params = params
+        self.nonideality = nonideality
+        self.timing = timing
+        self.dac = dac if dac is not None else DacArray()
+        self.adc = adc if adc is not None else AdcArray()
+        self.quantise_io = quantise_io
+
+    # -- helpers -----------------------------------------------------------
+    def _new_graph(self) -> BlockGraph:
+        return BlockGraph(
+            nonideality=self.nonideality, timing=self.timing
+        )
+
+    def _encode_inputs(self, values: np.ndarray) -> np.ndarray:
+        volts = self.params.encode(values)
+        if self.quantise_io:
+            volts = self.dac.convert(volts)
+        return volts
+
+    def _requantise(self, voltage: float) -> float:
+        """Model a value crossing the ADC -> DAC boundary (tiling).
+
+        Boundary cells sitting at the infinity rail are wired to the
+        rail by the control module rather than converted (the ADC's
+        full scale is far below the supply), so they pass through.
+        """
+        if not self.quantise_io:
+            return voltage
+        if voltage >= self.params.infinity_rail * 0.99:
+            return voltage
+        sampled = float(self.adc.convert([voltage])[0])
+        return float(self.dac.convert([sampled])[0]) if abs(
+            sampled
+        ) <= self.dac.spec.full_scale else sampled
+
+    def _decode(self, config: FunctionConfig, voltage: float) -> float:
+        if config.decode == "steps":
+            return self.params.decode_steps(voltage)
+        return self.params.decode(voltage)
+
+    def _adc_read(self, voltage: float) -> float:
+        if not self.quantise_io:
+            return voltage
+        return float(self.adc.convert([voltage])[0])
+
+    def _overflowed(self, voltages: np.ndarray, raw: float) -> bool:
+        rail = self.params.vcc * 1.05
+        clipped = raw > self.adc.spec.full_scale - self.adc.spec.lsb
+        return bool(clipped or np.max(voltages) > rail)
+
+    # -- public API ----------------------------------------------------------
+    def compute(
+        self,
+        function: str,
+        p,
+        q,
+        weights=None,
+        threshold: float = 0.0,
+        band: Optional[float] = None,
+        measure_time: bool = False,
+        paper_errata: bool = False,
+    ) -> AcceleratorResult:
+        """Run one distance computation on the accelerator.
+
+        Parameters mirror the software reference functions; ``threshold``
+        is given in sequence-value units and converted to the comparator
+        voltage internally.
+        """
+        config = get_config(function)
+        p_arr = as_sequence(p, "p")
+        q_arr = as_sequence(q, "q")
+        if not config.supports_unequal_lengths:
+            require_same_length(p_arr, q_arr)
+        n, m = p_arr.shape[0], q_arr.shape[0]
+        threshold_v = float(threshold) * self.params.voltage_resolution
+
+        if config.structure == "row":
+            w = as_weight_vector(weights, n)
+            return self._compute_row(
+                config, p_arr, q_arr, w, threshold_v, measure_time
+            )
+        w = as_weight_matrix(weights, n, m)
+        fits = (
+            n <= self.params.array_rows and m <= self.params.array_cols
+        )
+        if fits:
+            return self._compute_single_tile(
+                config,
+                p_arr,
+                q_arr,
+                w,
+                threshold_v,
+                band,
+                measure_time,
+                paper_errata,
+            )
+        if config.name == "hausdorff":
+            return self._compute_tiled_hausdorff(
+                config, p_arr, q_arr, w, measure_time
+            )
+        return self._compute_tiled_dp(
+            config,
+            p_arr,
+            q_arr,
+            w,
+            threshold_v,
+            band,
+            measure_time,
+            paper_errata,
+        )
+
+    def distance(self, function: str, **fixed) -> Callable[..., float]:
+        """A plain ``fn(p, q, **kw) -> float`` view of one function.
+
+        Drop-in replacement for the :mod:`repro.distances` callables, so
+        the mining layer can run on hardware by swapping one argument.
+        """
+
+        def fn(p, q, **kwargs) -> float:
+            merged = dict(fixed)
+            merged.update(kwargs)
+            return self.compute(function, p, q, **merged).value
+
+        fn.__name__ = f"accelerated_{function}"
+        return fn
+
+    # -- single tile ---------------------------------------------------------
+    def _build(
+        self,
+        config: FunctionConfig,
+        graph: BlockGraph,
+        p_ids: List[int],
+        q_ids: List[int],
+        w: np.ndarray,
+        threshold_v: float,
+        band: Optional[float],
+        paper_errata: bool,
+        **boundary,
+    ) -> int:
+        if config.name == "dtw":
+            return build_dtw_graph(
+                graph, p_ids, q_ids, w, self.params, band=band, **boundary
+            )
+        if config.name == "lcs":
+            return build_lcs_graph(
+                graph,
+                p_ids,
+                q_ids,
+                w,
+                self.params,
+                threshold_v=threshold_v,
+                **boundary,
+            )
+        if config.name == "edit":
+            return build_edit_graph(
+                graph,
+                p_ids,
+                q_ids,
+                w,
+                self.params,
+                threshold_v=threshold_v,
+                paper_errata=paper_errata,
+                **boundary,
+            )
+        if config.name == "hausdorff":
+            return build_hausdorff_graph(
+                graph, p_ids, q_ids, w, self.params, **boundary
+            )
+        raise ConfigurationError(
+            f"no matrix builder for {config.name!r}"
+        )
+
+    def _compute_single_tile(
+        self,
+        config: FunctionConfig,
+        p_arr: np.ndarray,
+        q_arr: np.ndarray,
+        w: np.ndarray,
+        threshold_v: float,
+        band: Optional[float],
+        measure_time: bool,
+        paper_errata: bool,
+    ) -> AcceleratorResult:
+        graph = self._new_graph()
+        pv = self._encode_inputs(p_arr)
+        qv = self._encode_inputs(q_arr)
+        p_ids = [graph.const(v) for v in pv]
+        q_ids = [graph.const(v) for v in qv]
+        out = self._build(
+            config, graph, p_ids, q_ids, w, threshold_v, band,
+            paper_errata,
+        )
+        graph.mark_output("out", out)
+        frozen = graph.freeze()
+        voltages = dc_solve(frozen)
+        raw = float(voltages[out])
+        t_conv = None
+        if measure_time:
+            t_conv, _ = measure_convergence(frozen, "out")
+        adc_v = self._adc_read(raw)
+        conversion = self.dac.load_time(
+            p_arr.size + q_arr.size
+        ) + self.adc.read_time(1)
+        return AcceleratorResult(
+            function=config.name,
+            value=self._decode(config, adc_v),
+            raw_voltage=raw,
+            adc_voltage=adc_v,
+            convergence_time_s=t_conv,
+            conversion_time_s=conversion,
+            total_time_s=(
+                t_conv + conversion if t_conv is not None else None
+            ),
+            tiles=1,
+            overflow=self._overflowed(voltages, raw),
+            n_blocks=len(graph),
+        )
+
+    # -- row structure ---------------------------------------------------------
+    def _compute_row(
+        self,
+        config: FunctionConfig,
+        p_arr: np.ndarray,
+        q_arr: np.ndarray,
+        w: np.ndarray,
+        threshold_v: float,
+        measure_time: bool,
+    ) -> AcceleratorResult:
+        n = p_arr.shape[0]
+        segments = plan_row_segments(n, self.params.array_cols)
+        total_v = 0.0
+        t_conv_total = 0.0 if measure_time else None
+        conversion = 0.0
+        overflow = False
+        blocks = 0
+        for start, end in segments:
+            sl = slice(start - 1, end)
+            graph = self._new_graph()
+            pv = self._encode_inputs(p_arr[sl])
+            qv = self._encode_inputs(q_arr[sl])
+            p_ids = [graph.const(v) for v in pv]
+            q_ids = [graph.const(v) for v in qv]
+            if config.name == "hamming":
+                out = build_hamming_graph(
+                    graph,
+                    p_ids,
+                    q_ids,
+                    w[sl],
+                    self.params,
+                    threshold_v=threshold_v,
+                )
+            else:
+                out = build_manhattan_graph(
+                    graph, p_ids, q_ids, w[sl], self.params
+                )
+            graph.mark_output("out", out)
+            frozen = graph.freeze()
+            voltages = dc_solve(frozen)
+            raw = float(voltages[out])
+            overflow = overflow or self._overflowed(voltages, raw)
+            total_v += self._adc_read(raw)
+            blocks += len(graph)
+            conversion += self.dac.load_time(
+                2 * (end - start + 1)
+            ) + self.adc.read_time(1)
+            if measure_time:
+                t_seg, _ = measure_convergence(frozen, "out")
+                t_conv_total += t_seg
+        return AcceleratorResult(
+            function=config.name,
+            value=self._decode(config, total_v),
+            raw_voltage=total_v,
+            adc_voltage=total_v,
+            convergence_time_s=t_conv_total,
+            conversion_time_s=conversion,
+            total_time_s=(
+                t_conv_total + conversion
+                if t_conv_total is not None
+                else None
+            ),
+            tiles=len(segments),
+            overflow=overflow,
+            n_blocks=blocks,
+        )
+
+    # -- tiled matrix DP ---------------------------------------------------------
+    def _compute_tiled_dp(
+        self,
+        config: FunctionConfig,
+        p_arr: np.ndarray,
+        q_arr: np.ndarray,
+        w: np.ndarray,
+        threshold_v: float,
+        band: Optional[float],
+        measure_time: bool,
+        paper_errata: bool,
+    ) -> AcceleratorResult:
+        if band is not None:
+            raise CapacityError(
+                "band-constrained DTW is only supported when the "
+                "sequences fit the PE array; enlarge array_rows/cols "
+                "or drop the band"
+            )
+        n, m = p_arr.shape[0], q_arr.shape[0]
+        dp = np.zeros((n + 1, m + 1))
+        if config.name == "dtw":
+            dp[0, 1:] = self.params.infinity_rail
+            dp[1:, 0] = self.params.infinity_rail
+        elif config.name == "edit":
+            dp[0, :] = np.arange(m + 1) * self.params.v_step
+            dp[:, 0] = np.arange(n + 1) * self.params.v_step
+
+        tiles = plan_matrix_tiles(
+            n, m, self.params.array_rows, self.params.array_cols
+        )
+        t_conv_total = 0.0 if measure_time else None
+        conversion = 0.0
+        overflow = False
+        blocks = 0
+        for tile in tiles:
+            i0, i1 = tile.row_start, tile.row_end
+            j0, j1 = tile.col_start, tile.col_end
+            graph = self._new_graph()
+            pv = self._encode_inputs(p_arr[i0 - 1 : i1])
+            qv = self._encode_inputs(q_arr[j0 - 1 : j1])
+            p_ids = [graph.const(v) for v in pv]
+            q_ids = [graph.const(v) for v in qv]
+            boundary = {
+                "boundary_top": [
+                    self._requantise(dp[i0 - 1, j]) for j in range(j0, j1 + 1)
+                ],
+                "boundary_left": [
+                    self._requantise(dp[i, j0 - 1]) for i in range(i0, i1 + 1)
+                ],
+                "boundary_corner": self._requantise(dp[i0 - 1, j0 - 1]),
+            }
+            cells: Dict = {}
+            out = self._build(
+                config,
+                graph,
+                p_ids,
+                q_ids,
+                w[i0 - 1 : i1, j0 - 1 : j1],
+                threshold_v,
+                None,
+                paper_errata,
+                cells_out=cells,
+                **boundary,
+            )
+            graph.mark_output("out", out)
+            frozen = graph.freeze()
+            voltages = dc_solve(frozen)
+            raw_tile = float(voltages[out])
+            overflow = overflow or self._overflowed(voltages, raw_tile)
+            blocks += len(graph)
+            # Export the bottom row and right column (what neighbours
+            # and the final readout need).
+            for j in range(1, tile.n_cols + 1):
+                dp[i1, j0 + j - 1] = voltages[cells[(tile.n_rows, j)]]
+            for i in range(1, tile.n_rows + 1):
+                dp[i0 + i - 1, j1] = voltages[cells[(i, tile.n_cols)]]
+            exported = tile.n_rows + tile.n_cols - 1
+            conversion += self.dac.load_time(
+                tile.n_rows + tile.n_cols + exported
+            ) + self.adc.read_time(exported)
+            if measure_time:
+                t_tile, _ = measure_convergence(frozen, "out")
+                t_conv_total += t_tile
+        raw = float(dp[n, m])
+        adc_v = self._adc_read(raw)
+        return AcceleratorResult(
+            function=config.name,
+            value=self._decode(config, adc_v),
+            raw_voltage=raw,
+            adc_voltage=adc_v,
+            convergence_time_s=t_conv_total,
+            conversion_time_s=conversion,
+            total_time_s=(
+                t_conv_total + conversion
+                if t_conv_total is not None
+                else None
+            ),
+            tiles=len(tiles),
+            overflow=overflow,
+            n_blocks=blocks,
+        )
+
+    # -- tiled Hausdorff ---------------------------------------------------------
+    def _compute_tiled_hausdorff(
+        self,
+        config: FunctionConfig,
+        p_arr: np.ndarray,
+        q_arr: np.ndarray,
+        w: np.ndarray,
+        measure_time: bool,
+    ) -> AcceleratorResult:
+        n, m = p_arr.shape[0], q_arr.shape[0]
+        tiles = plan_matrix_tiles(
+            n, m, self.params.array_rows, self.params.array_cols
+        )
+        col_min = np.full(m, np.inf)
+        t_conv_total = 0.0 if measure_time else None
+        conversion = 0.0
+        overflow = False
+        blocks = 0
+        for tile in tiles:
+            i0, i1 = tile.row_start, tile.row_end
+            j0, j1 = tile.col_start, tile.col_end
+            graph = self._new_graph()
+            pv = self._encode_inputs(p_arr[i0 - 1 : i1])
+            qv = self._encode_inputs(q_arr[j0 - 1 : j1])
+            p_ids = [graph.const(v) for v in pv]
+            q_ids = [graph.const(v) for v in qv]
+            minima_ids: List[int] = []
+            out = build_hausdorff_graph(
+                graph,
+                p_ids,
+                q_ids,
+                w[i0 - 1 : i1, j0 - 1 : j1],
+                self.params,
+                column_minima_out=minima_ids,
+            )
+            graph.mark_output("out", out)
+            frozen = graph.freeze()
+            voltages = dc_solve(frozen)
+            overflow = overflow or self._overflowed(
+                voltages, float(voltages[out])
+            )
+            blocks += len(graph)
+            for k, block_id in enumerate(minima_ids):
+                measured = self._adc_read(float(voltages[block_id]))
+                j = j0 - 1 + k
+                col_min[j] = min(col_min[j], measured)
+            conversion += self.dac.load_time(
+                tile.n_rows + tile.n_cols
+            ) + self.adc.read_time(tile.n_cols)
+            if measure_time:
+                t_tile, _ = measure_convergence(frozen, "out")
+                t_conv_total += t_tile
+        raw = float(np.max(col_min))
+        return AcceleratorResult(
+            function=config.name,
+            value=self._decode(config, raw),
+            raw_voltage=raw,
+            adc_voltage=raw,
+            convergence_time_s=t_conv_total,
+            conversion_time_s=conversion,
+            total_time_s=(
+                t_conv_total + conversion
+                if t_conv_total is not None
+                else None
+            ),
+            tiles=len(tiles),
+            overflow=overflow,
+            n_blocks=blocks,
+        )

@@ -1,0 +1,97 @@
+"""Accelerator-wide parameters (Table 1 and Section 4 of the paper).
+
+Everything the paper fixes in its experimental setup lives here:
+supply voltage, the 20 mV-per-unit voltage encoding, the 10 mV unit
+step, the 128x128 PE array dimensions used in the power analysis, and
+the Sakoe-Chiba band fraction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorParameters:
+    """Electrical and architectural constants.
+
+    Attributes
+    ----------
+    vcc:
+        Supply voltage (Table 1: 1.0 V).
+    voltage_resolution:
+        Volts per unit of sequence value (Table 1: 20 mV for 1.0,
+        "1.2 and -0.5 are translated to 24mV and -10mV").
+    v_step:
+        Unit voltage for counting distances — LCS/EdD/HamD
+        (Section 4.1: 10 mV "in case the output voltage overflows").
+    v_threshold:
+        Match threshold voltage for LCS/EdD/HamD ("application
+        specific"); expressed in volts.
+    array_rows, array_cols:
+        PE array dimensions (Section 4.3: 128, "the same with [25]").
+    band_fraction:
+        Sakoe-Chiba constraint ``R = band_fraction * n``
+        (Section 4.3: 5 %).
+    convergence_tolerance:
+        The 0.1 % convergence criterion of Section 4.2.
+    """
+
+    vcc: float = 1.0
+    voltage_resolution: float = 20.0e-3
+    v_step: float = 10.0e-3
+    v_threshold: float = 10.0e-3
+    array_rows: int = 128
+    array_cols: int = 128
+    band_fraction: float = 0.05
+    convergence_tolerance: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.vcc <= 0:
+            raise ConfigurationError("vcc must be positive")
+        if self.voltage_resolution <= 0 or self.v_step <= 0:
+            raise ConfigurationError(
+                "voltage scales must be positive"
+            )
+        if self.array_rows < 1 or self.array_cols < 1:
+            raise ConfigurationError("array must be at least 1x1")
+        if not 0.0 < self.band_fraction <= 1.0:
+            raise ConfigurationError(
+                "band_fraction must lie in (0, 1]"
+            )
+
+    # -- encoding ---------------------------------------------------------
+    def encode(self, values) -> np.ndarray:
+        """Sequence values -> voltages (the DAC transfer, ideal)."""
+        return np.asarray(values, dtype=np.float64) * self.voltage_resolution
+
+    def decode(self, voltage: float) -> float:
+        """Voltage -> sequence-value units."""
+        return float(voltage) / self.voltage_resolution
+
+    def decode_steps(self, voltage: float) -> float:
+        """Voltage -> counting units (divide by Vstep, Section 3.2.3)."""
+        return float(voltage) / self.v_step
+
+    def threshold_units(self) -> float:
+        """The match threshold expressed in sequence-value units."""
+        return self.v_threshold / self.voltage_resolution
+
+    @property
+    def infinity_rail(self) -> float:
+        """The voltage standing in for the Eq. (2) boundary infinity.
+
+        An analog circuit has no infinity; the largest representable
+        voltage is the supply rail, so uninitialised DP boundary cells
+        sit at ``vcc``.  Results are only trustworthy while every DP
+        voltage stays safely below this rail (checked per run).
+        """
+        return self.vcc
+
+
+#: The paper's configuration, verbatim.
+PAPER_PARAMS = AcceleratorParameters()

@@ -1,0 +1,387 @@
+"""PE array graph builders — the Fig. 2 circuits as analog block DAGs.
+
+Each ``build_*_graph`` function appends a full PE array for one
+distance function to a :class:`~repro.analog.BlockGraph`, wired from
+already-created input blocks (the DAC outputs), and returns the id of
+the output block (the ADC tap).  The construction mirrors the hardware:
+
+* **DTW** (Fig. 2(a)) — per PE: absolution module, minimum module
+  (diodes + the Eq. (8) complement trick), addition module.
+* **LCS** (Fig. 2(b)) — selecting module (comparator + TGs) choosing
+  between ``L[i-1,j-1] + w Vstep`` and ``max(L[i,j-1], L[i-1,j])``.
+* **EdD** (Fig. 2(c)) — three computing paths + minimum module;
+  standard match semantics (see the erratum note in
+  :mod:`repro.distances.edit`).
+* **HauD** (Fig. 2(d1/d2)) — per-PE ``Vcc - w|Pi-Qj|`` stages feeding a
+  diode-fast column max chain, per-column converters, global diode max.
+* **HamD** (Fig. 2(e)) — comparator gates into the row-structure adder.
+* **MD** (Fig. 2(f)) — absolution modules into the row-structure adder.
+
+Boundary "infinity" cells of the DTW recurrence are tied to the supply
+rail (an analog circuit has no infinity), which is faithful to the
+hardware and the reason overflow monitoring exists in the array layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analog.graph import BlockGraph
+from ..errors import ConfigurationError
+from ..validation import resolve_band
+from .params import AcceleratorParameters, PAPER_PARAMS
+
+GridIds = Sequence[int]
+
+
+def _check_inputs(graph: BlockGraph, ids: GridIds) -> None:
+    for block_id in ids:
+        if not 0 <= block_id < len(graph):
+            raise ConfigurationError(
+                f"input block {block_id} not present in graph"
+            )
+
+
+def build_dtw_graph(
+    graph: BlockGraph,
+    p_ids: GridIds,
+    q_ids: GridIds,
+    weights: np.ndarray,
+    params: AcceleratorParameters = PAPER_PARAMS,
+    band: Optional[float] = None,
+    boundary_top: Optional[Sequence[float]] = None,
+    boundary_left: Optional[Sequence[float]] = None,
+    boundary_corner: Optional[float] = None,
+    cells_out: Optional[Dict[Tuple[int, int], int]] = None,
+) -> int:
+    """DTW PE matrix (Eq. 2).  Returns the ``D[n, m]`` block id.
+
+    ``cells_out`` (when given) is filled with the DP-cell block ids so
+    the tiling layer can read interior voltages.
+
+    ``boundary_*`` voltages (top row ``D[0, 1..m]``, left column
+    ``D[1..n, 0]``, corner ``D[0, 0]``) default to the cold-start
+    conditions (corner 0 V, edges at the infinity rail); the tiling
+    layer passes measured voltages from neighbouring tiles instead.
+    """
+    _check_inputs(graph, list(p_ids) + list(q_ids))
+    n, m = len(p_ids), len(q_ids)
+    if weights.shape != (n, m):
+        raise ConfigurationError("weights must be (n, m)")
+    r = resolve_band(band, n, m)
+    inf_rail = graph.const(params.infinity_rail, label="dtw_inf")
+    corner = (
+        params.infinity_rail * 0.0
+        if boundary_corner is None
+        else boundary_corner
+    )
+    cells: Dict[Tuple[int, int], int] = {}
+    cells[(0, 0)] = graph.const(corner, label="dtw_d00")
+    for j in range(1, m + 1):
+        if boundary_top is None:
+            cells[(0, j)] = inf_rail
+        else:
+            cells[(0, j)] = graph.const(
+                boundary_top[j - 1], label=f"dtw_top{j}"
+            )
+    for i in range(1, n + 1):
+        if boundary_left is None:
+            cells[(i, 0)] = inf_rail
+        else:
+            cells[(i, 0)] = graph.const(
+                boundary_left[i - 1], label=f"dtw_left{i}"
+            )
+
+    for i in range(1, n + 1):
+        centre = i * m / n
+        lo = max(1, int(np.floor(centre - r)))
+        hi = min(m, int(np.ceil(centre + r)))
+        for j in range(lo, hi + 1):
+            cost = graph.absdiff(
+                p_ids[i - 1],
+                q_ids[j - 1],
+                weight=weights[i - 1, j - 1],
+                label=f"dtw_abs_{i}_{j}",
+            )
+            prev = [
+                cells.get((i, j - 1), inf_rail),
+                cells.get((i - 1, j), inf_rail),
+                cells.get((i - 1, j - 1), inf_rail),
+            ]
+            best = graph.minimum(prev, label=f"dtw_min_{i}_{j}")
+            cells[(i, j)] = graph.lin(
+                [(cost, 1.0), (best, 1.0)], label=f"dtw_d_{i}_{j}"
+            )
+    if (n, m) not in cells:
+        raise ConfigurationError(
+            "band excludes the terminal cell; widen the band"
+        )
+    if cells_out is not None:
+        cells_out.update(cells)
+    return cells[(n, m)]
+
+
+def build_lcs_graph(
+    graph: BlockGraph,
+    p_ids: GridIds,
+    q_ids: GridIds,
+    weights: np.ndarray,
+    params: AcceleratorParameters = PAPER_PARAMS,
+    threshold_v: Optional[float] = None,
+    boundary_top: Optional[Sequence[float]] = None,
+    boundary_left: Optional[Sequence[float]] = None,
+    boundary_corner: float = 0.0,
+    cells_out: Optional[Dict[Tuple[int, int], int]] = None,
+) -> int:
+    """LCS PE matrix (Eq. 3).  Returns the ``L[n, m]`` block id."""
+    _check_inputs(graph, list(p_ids) + list(q_ids))
+    n, m = len(p_ids), len(q_ids)
+    if weights.shape != (n, m):
+        raise ConfigurationError("weights must be (n, m)")
+    if threshold_v is None:
+        threshold_v = params.v_threshold
+    cells: Dict[Tuple[int, int], int] = {}
+    zero = graph.const(0.0, label="lcs_zero")
+    cells[(0, 0)] = (
+        zero
+        if boundary_corner == 0.0
+        else graph.const(boundary_corner, label="lcs_corner")
+    )
+    for j in range(1, m + 1):
+        cells[(0, j)] = (
+            zero
+            if boundary_top is None
+            else graph.const(boundary_top[j - 1], label=f"lcs_top{j}")
+        )
+    for i in range(1, n + 1):
+        cells[(i, 0)] = (
+            zero
+            if boundary_left is None
+            else graph.const(boundary_left[i - 1], label=f"lcs_left{i}")
+        )
+
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            step_v = weights[i - 1, j - 1] * params.v_step
+            when_close = graph.lin(
+                [(cells[(i - 1, j - 1)], 1.0)],
+                constant=step_v,
+                label=f"lcs_add_{i}_{j}",
+            )
+            when_far = graph.maximum(
+                [cells[(i, j - 1)], cells[(i - 1, j)]],
+                label=f"lcs_max_{i}_{j}",
+            )
+            cells[(i, j)] = graph.mux(
+                p_ids[i - 1],
+                q_ids[j - 1],
+                when_close,
+                when_far,
+                threshold_v,
+                label=f"lcs_l_{i}_{j}",
+            )
+    if cells_out is not None:
+        cells_out.update(cells)
+    return cells[(n, m)]
+
+
+def build_edit_graph(
+    graph: BlockGraph,
+    p_ids: GridIds,
+    q_ids: GridIds,
+    weights: np.ndarray,
+    params: AcceleratorParameters = PAPER_PARAMS,
+    threshold_v: Optional[float] = None,
+    paper_errata: bool = False,
+    boundary_top: Optional[Sequence[float]] = None,
+    boundary_left: Optional[Sequence[float]] = None,
+    boundary_corner: Optional[float] = None,
+    cells_out: Optional[Dict[Tuple[int, int], int]] = None,
+) -> int:
+    """EdD PE matrix (Eq. 4, standard semantics by default).
+
+    Returns the ``E[n, m]`` block id.  Cold-start boundaries are the
+    Eq. (4) conditions ``E[i,0] = i Vstep``, ``E[0,j] = j Vstep``.
+    """
+    _check_inputs(graph, list(p_ids) + list(q_ids))
+    n, m = len(p_ids), len(q_ids)
+    if weights.shape != (n, m):
+        raise ConfigurationError("weights must be (n, m)")
+    if threshold_v is None:
+        threshold_v = params.v_threshold
+    cells: Dict[Tuple[int, int], int] = {}
+    corner_v = 0.0 if boundary_corner is None else boundary_corner
+    cells[(0, 0)] = graph.const(corner_v, label="edd_corner")
+    for j in range(1, m + 1):
+        top_v = (
+            j * params.v_step
+            if boundary_top is None
+            else boundary_top[j - 1]
+        )
+        cells[(0, j)] = graph.const(top_v, label=f"edd_top{j}")
+    for i in range(1, n + 1):
+        left_v = (
+            i * params.v_step
+            if boundary_left is None
+            else boundary_left[i - 1]
+        )
+        cells[(i, 0)] = graph.const(left_v, label=f"edd_left{i}")
+
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            step_v = weights[i - 1, j - 1] * params.v_step
+            delete = graph.lin(
+                [(cells[(i - 1, j)], 1.0)],
+                constant=step_v,
+                label=f"edd_del_{i}_{j}",
+            )
+            insert = graph.lin(
+                [(cells[(i, j - 1)], 1.0)],
+                constant=step_v,
+                label=f"edd_ins_{i}_{j}",
+            )
+            substitute = graph.lin(
+                [(cells[(i - 1, j - 1)], 1.0)],
+                constant=step_v,
+                label=f"edd_sub_{i}_{j}",
+            )
+            if paper_errata:
+                when_close, when_far = substitute, cells[(i - 1, j - 1)]
+            else:
+                when_close, when_far = cells[(i - 1, j - 1)], substitute
+            diagonal = graph.mux(
+                p_ids[i - 1],
+                q_ids[j - 1],
+                when_close,
+                when_far,
+                threshold_v,
+                label=f"edd_diag_{i}_{j}",
+            )
+            cells[(i, j)] = graph.minimum(
+                [delete, insert, diagonal], label=f"edd_e_{i}_{j}"
+            )
+    if cells_out is not None:
+        cells_out.update(cells)
+    return cells[(n, m)]
+
+
+def build_hausdorff_graph(
+    graph: BlockGraph,
+    p_ids: GridIds,
+    q_ids: GridIds,
+    weights: np.ndarray,
+    params: AcceleratorParameters = PAPER_PARAMS,
+    column_minima_out: Optional[list] = None,
+) -> int:
+    """Directed HauD array (Fig. 2(d1)/(d2)).
+
+    Per PE: ``Vcc - w|Pi - Qj|`` (one amp stage after the absolution
+    module); per column: a diode-fast max chain and a converter
+    restoring ``min_i w|Pi - Qj|``; finally a global diode max.  The
+    column chains run in parallel, which is why HauD's convergence time
+    is nearly independent of sequence length (Section 4.2).
+    """
+    _check_inputs(graph, list(p_ids) + list(q_ids))
+    n, m = len(p_ids), len(q_ids)
+    if weights.shape != (n, m):
+        raise ConfigurationError("weights must be (n, m)")
+    vcc = params.vcc
+    column_minima = []
+    for j in range(m):
+        chain: Optional[int] = None
+        for i in range(n):
+            cost = graph.absdiff(
+                p_ids[i],
+                q_ids[j],
+                weight=weights[i, j],
+                label=f"haud_abs_{i}_{j}",
+            )
+            comp = graph.lin(
+                [(cost, -1.0)],
+                constant=vcc,
+                precision=True,
+                label=f"haud_c_{i}_{j}",
+            )
+            if chain is None:
+                chain = graph.maximum([comp], label=f"haud_h_{i}_{j}")
+            else:
+                chain = graph.maximum(
+                    [chain, comp], label=f"haud_h_{i}_{j}"
+                )
+        converter = graph.lin(
+            [(chain, -1.0)],
+            constant=vcc,
+            precision=True,
+            label=f"haud_conv_{j}",
+        )
+        column_minima.append(converter)
+    if column_minima_out is not None:
+        column_minima_out.extend(column_minima)
+    return graph.maximum(column_minima, label="haud_out")
+
+
+def build_hamming_graph(
+    graph: BlockGraph,
+    p_ids: GridIds,
+    q_ids: GridIds,
+    weights: np.ndarray,
+    params: AcceleratorParameters = PAPER_PARAMS,
+    threshold_v: Optional[float] = None,
+) -> int:
+    """HamD row structure (Fig. 2(e) + the Fig. 1 analog adder).
+
+    Eq. (6) semantics: each position contributes ``w_i Vstep`` when the
+    elements differ by more than the threshold.
+    """
+    _check_inputs(graph, list(p_ids) + list(q_ids))
+    n = len(p_ids)
+    if len(q_ids) != n:
+        raise ConfigurationError("HamD requires equal lengths")
+    if weights.shape != (n,):
+        raise ConfigurationError("weights must be (n,)")
+    if threshold_v is None:
+        threshold_v = params.v_threshold
+    rails = [
+        graph.gate(
+            p_ids[i],
+            q_ids[i],
+            threshold_v,
+            v_high=weights[i] * params.v_step,
+            label=f"hamd_g_{i}",
+        )
+        for i in range(n)
+    ]
+    return graph.lin(
+        [(rail, 1.0) for rail in rails],
+        is_adder=True,
+        label="hamd_out",
+    )
+
+
+def build_manhattan_graph(
+    graph: BlockGraph,
+    p_ids: GridIds,
+    q_ids: GridIds,
+    weights: np.ndarray,
+    params: AcceleratorParameters = PAPER_PARAMS,
+) -> int:
+    """MD row structure (Fig. 2(f) + the Fig. 1 analog adder)."""
+    _check_inputs(graph, list(p_ids) + list(q_ids))
+    n = len(p_ids)
+    if len(q_ids) != n:
+        raise ConfigurationError("MD requires equal lengths")
+    if weights.shape != (n,):
+        raise ConfigurationError("weights must be (n,)")
+    rails = [
+        graph.absdiff(
+            p_ids[i], q_ids[i], weight=weights[i], label=f"md_abs_{i}"
+        )
+        for i in range(n)
+    ]
+    return graph.lin(
+        [(rail, 1.0) for rail in rails],
+        is_adder=True,
+        label="md_out",
+    )

@@ -1,0 +1,200 @@
+"""Power and energy model (Section 4.3 of the paper).
+
+Unit powers (all projected to the 32 nm node in the paper):
+
+* op-amp: 18 uW  (Zuo & Islam [33], scaled from 197 uW @ 0.35 um),
+* DAC: 32 mW per 1.6 GS/s lane (Tseng et al. [28]),
+* ADC: 35 mW per 8.8 GS/s lane (Kull et al. [15]),
+* memristor: 10 uW per device on an active conduction path, two
+  devices per op-amp.
+
+The paper's worked DTW example (128-PE rows, Sakoe-Chiba R = 5% x n):
+
+``P_opamp = 7 R (2n - R) x 18 uW = 0.20 W``
+``P_dac   = (throughput_in / 1.6 GS/s) x 32 mW = 0.13 W``
+``P_adc   = (throughput_out / 8.8 GS/s) x 35 mW = 0.026 W``
+``P_mem   = 7 R (2n - R) x 2 x 10 uW = 0.22 W``  =>  total 0.58 W.
+
+(The bracket notation in the paper is a ceiling, but its own arithmetic
+uses the continuous ratio — 0.13 W is 4.06 lanes x 32 mW — so we scale
+continuously and note it.)
+
+Back-solving the same structure for the other five totals gives the
+implied per-PE op-amp counts ``(P_total - P_conv) / (N_PE x 38 uW)``;
+those *calibrated* counts are provided alongside the integer
+circuit-derived counts of the configuration library, and the Fig. 6
+energy bench reports both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .configurations import CONFIG_LIBRARY
+from .params import AcceleratorParameters, PAPER_PARAMS
+
+#: Unit powers, Section 4.3 (watts).
+OPAMP_POWER_W = 18.0e-6
+MEMRISTOR_POWER_W = 10.0e-6
+MEMRISTORS_PER_OPAMP = 2
+DAC_UNIT_POWER_W = 32.0e-3
+DAC_UNIT_RATE = 1.6e9
+ADC_UNIT_POWER_W = 35.0e-3
+ADC_UNIT_RATE = 8.8e9
+
+#: Converter throughput implied by the paper's own DTW numbers
+#: (0.13 W / 32 mW x 1.6 GS/s = 6.5 GS/s in; 0.026 W / 35 mW x
+#: 8.8 GS/s = 6.5 GS/s out).
+PAPER_IO_THROUGHPUT = 6.5e9
+
+#: Per-PE op-amp counts back-solved from the paper's reported totals
+#: (see the module docstring).  DTW's 7 is stated explicitly by the
+#: paper; the rest are calibrated.
+CALIBRATED_OPAMPS_PER_PE: Dict[str, float] = {
+    "dtw": 7.0,
+    "lcs": 4.52,
+    "edit": 9.97,
+    "hausdorff": 3.99,
+    "hamming": 4.49,
+    "manhattan": 3.22,
+}
+
+#: The paper's reported accelerator totals (watts), for comparison.
+PAPER_REPORTED_POWER_W: Dict[str, float] = {
+    "dtw": 0.58,
+    "lcs": 2.97,
+    "edit": 6.36,
+    "hausdorff": 2.64,
+    "hamming": 2.95,
+    "manhattan": 2.16,
+}
+
+#: Existing-work power draws quoted in Section 4.3 (watts).
+EXISTING_WORK_POWER_W: Dict[str, float] = {
+    "dtw": 4.76,  # FPGA, Xilinx Power Estimator
+    "lcs": 240.0,  # GPU, 80% of TDP
+    "edit": 175.0,
+    "hausdorff": 120.0,
+    "hamming": 150.0,
+    "manhattan": 137.0,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component accelerator power for one configuration."""
+
+    function: str
+    active_pes: float
+    opamps_per_pe: float
+    opamp_w: float
+    memristor_w: float
+    dac_w: float
+    adc_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.opamp_w + self.memristor_w + self.dac_w + self.adc_w
+
+
+def active_pe_count(
+    function: str,
+    n: int,
+    params: AcceleratorParameters = PAPER_PARAMS,
+) -> float:
+    """Active PEs for a length-``n`` workload on the array.
+
+    DTW activates only the Sakoe-Chiba band, ``R(2n - R)`` cells with
+    ``R = band_fraction * n`` (the paper's formula); the other matrix
+    functions activate the full ``n x n`` grid, and the row functions
+    one row of ``n`` PEs replicated across the array's rows (the
+    batch-parallel operating mode the paper's HamD/MD power totals
+    imply).
+    """
+    if n < 1:
+        raise ConfigurationError("n must be >= 1")
+    config = CONFIG_LIBRARY[function]
+    if function == "dtw":
+        r = params.band_fraction * n
+        return r * (2 * n - r)
+    if config.structure == "matrix":
+        return float(n * n)
+    return float(n * params.array_rows)
+
+
+def accelerator_power(
+    function: str,
+    n: Optional[int] = None,
+    params: AcceleratorParameters = PAPER_PARAMS,
+    opamps_per_pe: Optional[float] = None,
+    calibrated: bool = True,
+    io_throughput: float = PAPER_IO_THROUGHPUT,
+) -> PowerBreakdown:
+    """Section 4.3 power model for one configuration.
+
+    Defaults reproduce the paper's setting: ``n = 128`` (the array
+    width), calibrated op-amp counts, 6.5 GS/s converter throughput.
+    Pass ``calibrated=False`` for the integer circuit-derived counts.
+    """
+    if function not in CONFIG_LIBRARY:
+        raise ConfigurationError(f"unknown function {function!r}")
+    if n is None:
+        n = params.array_rows
+    if opamps_per_pe is None:
+        if calibrated:
+            opamps_per_pe = CALIBRATED_OPAMPS_PER_PE[function]
+        else:
+            opamps_per_pe = CONFIG_LIBRARY[function].resources.op_amps
+    pes = active_pe_count(function, n, params)
+    opamp_w = pes * opamps_per_pe * OPAMP_POWER_W
+    memristor_w = (
+        pes * opamps_per_pe * MEMRISTORS_PER_OPAMP * MEMRISTOR_POWER_W
+    )
+    dac_w = io_throughput / DAC_UNIT_RATE * DAC_UNIT_POWER_W
+    adc_w = io_throughput / ADC_UNIT_RATE * ADC_UNIT_POWER_W
+    return PowerBreakdown(
+        function=function,
+        active_pes=pes,
+        opamps_per_pe=opamps_per_pe,
+        opamp_w=opamp_w,
+        memristor_w=memristor_w,
+        dac_w=dac_w,
+        adc_w=adc_w,
+    )
+
+
+def energy_efficiency_improvement(
+    function: str,
+    speedup: float,
+    params: AcceleratorParameters = PAPER_PARAMS,
+    calibrated: bool = True,
+) -> float:
+    """Energy-efficiency gain vs the existing work for one function.
+
+    ``improvement = speedup x (P_existing / P_ours)`` — both designs
+    process the same workload, ours ``speedup`` times faster at
+    ``P_ours`` watts.
+    """
+    if speedup <= 0:
+        raise ConfigurationError("speedup must be positive")
+    ours = accelerator_power(
+        function, params=params, calibrated=calibrated
+    ).total_w
+    theirs = EXISTING_WORK_POWER_W[function]
+    return speedup * theirs / ours
+
+
+def energy_per_computation(
+    function: str,
+    latency_s: float,
+    n: Optional[int] = None,
+    params: AcceleratorParameters = PAPER_PARAMS,
+) -> float:
+    """Joules for one distance computation at a measured latency."""
+    if latency_s <= 0:
+        raise ConfigurationError("latency must be positive")
+    return accelerator_power(function, n=n, params=params).total_w * latency_s

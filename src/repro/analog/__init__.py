@@ -1,0 +1,39 @@
+"""Behavioural analog simulation of PE arrays.
+
+Replaces array-scale SPICE (20 h per DTW run in the paper) with a
+vectorised first-order block-settling model validated against the
+element-level :mod:`repro.spice` engine.
+"""
+
+from .engine import (
+    AnalogTransientResult,
+    CONVERGENCE_TOLERANCE,
+    dc_solve,
+    measure_convergence,
+    suggest_dt,
+    transient,
+)
+from .graph import BlockGraph, FrozenGraph
+from .nonideal import (
+    DEFAULT_NONIDEALITY,
+    DEFAULT_TIMING,
+    IDEAL,
+    NonidealityModel,
+    TimingModel,
+)
+
+__all__ = [
+    "AnalogTransientResult",
+    "BlockGraph",
+    "CONVERGENCE_TOLERANCE",
+    "DEFAULT_NONIDEALITY",
+    "DEFAULT_TIMING",
+    "FrozenGraph",
+    "IDEAL",
+    "NonidealityModel",
+    "TimingModel",
+    "dc_solve",
+    "measure_convergence",
+    "suggest_dt",
+    "transient",
+]

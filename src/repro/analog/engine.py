@@ -1,0 +1,181 @@
+"""Simulation engine for analog block graphs.
+
+Two analyses, mirroring :mod:`repro.spice`:
+
+* :func:`dc_solve` — the settled operating point, found by sweeping the
+  (topologically ordered) graph until a fixed point; this is the value
+  an ideal infinitely-patient ADC would read.
+* :func:`transient` — synchronous exponential integration of every
+  block's first-order settling, producing the output waveform the
+  paper's convergence-time metric is defined on ("the interval between
+  the rising edge of the input and the timestamp when the output is
+  within 0.1% of the final value").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .graph import BlockGraph, FrozenGraph
+
+#: The paper's convergence criterion: within 0.1 % of the final value.
+CONVERGENCE_TOLERANCE = 1.0e-3
+
+
+def _freeze(graph: Union[BlockGraph, FrozenGraph]) -> FrozenGraph:
+    if isinstance(graph, BlockGraph):
+        return graph.freeze()
+    return graph
+
+
+def dc_solve(
+    graph: Union[BlockGraph, FrozenGraph],
+    max_sweeps: Optional[int] = None,
+) -> np.ndarray:
+    """Fixed point of the target map (the settled voltages).
+
+    Because builders only reference earlier blocks, the graph depth is
+    at most ``n_blocks`` and Jacobi sweeps reach an *exact* fixed point
+    in at most depth iterations (the target map is deterministic and
+    idempotent once inputs are stable).  Exact equality is required —
+    an absolute tolerance would let sub-tolerance inputs fail to
+    propagate through comparators, silently mis-deciding thresholds.
+    """
+    g = _freeze(graph)
+    if max_sweeps is None:
+        max_sweeps = g.n_blocks + 2
+    v = np.zeros(g.n_blocks)
+    for _ in range(max_sweeps):
+        new = g.targets(v)
+        if np.array_equal(new, v):
+            return new
+        v = new
+    raise ConvergenceError(
+        "DC sweep did not reach a fixed point; the graph may contain "
+        "a comparator oscillating across its threshold"
+    )
+
+
+@dataclasses.dataclass
+class AnalogTransientResult:
+    """Waveforms and convergence measurements of one transient run."""
+
+    time: np.ndarray
+    waves: Dict[str, np.ndarray]
+    final: Dict[str, float]
+
+    def convergence_time(
+        self,
+        name: str,
+        tolerance: float = CONVERGENCE_TOLERANCE,
+    ) -> float:
+        """Paper metric: first instant after which the output stays
+        within ``tolerance`` (relative) of its final settled value."""
+        wave = self.waves[name]
+        target = self.final[name]
+        scale = max(abs(target), 1.0e-9)
+        outside = np.abs(wave - target) > tolerance * scale
+        if not np.any(outside):
+            return float(self.time[0])
+        last = int(np.max(np.nonzero(outside)))
+        if last + 1 >= self.time.size:
+            raise ConvergenceError(
+                f"output {name!r} did not converge within the simulated "
+                f"window ({self.time[-1]:.3e} s)"
+            )
+        return float(self.time[last + 1])
+
+
+def transient(
+    graph: Union[BlockGraph, FrozenGraph],
+    t_stop: float,
+    dt: float,
+    record: Optional[Sequence[str]] = None,
+    v0: Optional[np.ndarray] = None,
+) -> AnalogTransientResult:
+    """Integrate ``dv/dt = (target - v)/tau`` from ``v0`` (default 0 V).
+
+    Uses the exact exponential update for frozen inputs,
+    ``v <- target + (v - target) exp(-dt/tau)``, which is
+    unconditionally stable for any ``dt``; accuracy requires
+    ``dt`` below the smallest interesting tau, which callers size via
+    :func:`suggest_dt`.
+    """
+    g = _freeze(graph)
+    if not g.outputs:
+        raise ConvergenceError("graph has no marked outputs to record")
+    if record is None:
+        record = list(g.outputs)
+    unknown = [name for name in record if name not in g.outputs]
+    if unknown:
+        raise ConvergenceError(f"unknown outputs: {unknown}")
+
+    steps = int(np.ceil(t_stop / dt))
+    time = np.linspace(0.0, steps * dt, steps + 1)
+    decay = np.exp(-dt / g.tau)
+    v = np.zeros(g.n_blocks) if v0 is None else v0.copy()
+
+    waves = {name: np.zeros(steps + 1) for name in record}
+    taps = {name: g.outputs[name] for name in record}
+    for name, tap in taps.items():
+        waves[name][0] = v[tap]
+
+    for k in range(1, steps + 1):
+        targets = g.targets(v)
+        v = targets + (v - targets) * decay
+        for name, tap in taps.items():
+            waves[name][k] = v[tap]
+
+    settled = dc_solve(g)
+    final = {name: float(settled[tap]) for name, tap in taps.items()}
+    return AnalogTransientResult(time=time, waves=waves, final=final)
+
+
+def suggest_dt(graph: Union[BlockGraph, FrozenGraph]) -> float:
+    """A dt resolving the median stage tau (fast stages may be treated
+    as instantaneous without hurting the convergence-time estimate)."""
+    g = _freeze(graph)
+    slow = g.tau[g.tau > 1.0e-11]
+    if slow.size == 0:
+        return 1.0e-11
+    return float(np.median(slow) / 20.0)
+
+
+def measure_convergence(
+    graph: Union[BlockGraph, FrozenGraph],
+    output: str,
+    safety_factor: float = 30.0,
+    tolerance: float = CONVERGENCE_TOLERANCE,
+) -> "tuple[float, float]":
+    """Convenience: simulate long enough and return
+    ``(convergence_time_s, final_value_v)`` for one output.
+
+    The window is sized from the graph's total tau budget (sum of the
+    slowest chain is bounded by the sum over all blocks of tau, but a
+    ``safety_factor`` times the max-tau times depth-estimate is much
+    tighter; we grow the window geometrically on failure).
+    """
+    g = _freeze(graph)
+    dt = suggest_dt(g)
+    # Cascaded first-order stages settle to 0.1 % in about
+    # ln(1000) ~ 7 critical-path taus; double that for comparator
+    # re-selections, floored by the per-stage heuristic.
+    window = max(
+        14.0 * float(np.max(g.critical_tau)),
+        safety_factor * float(np.max(g.tau)) * 4.0,
+    )
+    for _ in range(6):
+        try:
+            result = transient(g, t_stop=window, dt=dt, record=[output])
+            t_conv = result.convergence_time(output, tolerance)
+            return t_conv, result.final[output]
+        except ConvergenceError:
+            window *= 4.0
+    raise ConvergenceError(
+        f"output {output!r} failed to converge even in a "
+        f"{window:.3e} s window"
+    )

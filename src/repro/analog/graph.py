@@ -1,0 +1,508 @@
+"""Typed analog block graph.
+
+A :class:`BlockGraph` is a feedforward DAG of analog stages.  Each block
+has one output voltage, a *target* function of its input voltages, and
+a first-order settling time constant ``tau``: the output obeys
+``dv/dt = (target(inputs) - v) / tau``.  This is exactly the behaviour
+of the single-pole op-amp stages validated in :mod:`repro.spice`, and it
+is what lets full 40x40 PE arrays simulate in milliseconds instead of
+the 20 SPICE-hours the paper reports.
+
+Block kinds
+-----------
+``const``    fixed source voltage (DAC output).
+``lin``      weighted sum + constant:  ``sum_k w_k v_k + c``  (subtractor,
+             adder, buffer, the HauD converter ``Vcc - x`` ...).
+``absdiff``  ``w * |a - b|``  (the absolution module).
+``max``      diode maximum of its inputs.
+``min``      minimum (realised in hardware via the Vcc-complement trick
+             of Eq. (8); modelled directly, with the same error knobs).
+``mux``      comparator + transmission gates: ``t`` if ``|a-b| <= thr``
+             else ``f`` (the LCS/EdD selecting module).
+``gate``     comparator to a rail: ``v_high`` if ``|a-b| > thr`` else
+             ``v_low`` (the HamD PE).
+
+Builder methods return integer block ids; inputs must already exist, so
+the graph is topologically ordered by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .nonideal import (
+    DEFAULT_NONIDEALITY,
+    DEFAULT_TIMING,
+    NonidealityModel,
+    TimingModel,
+)
+
+KIND_CONST = 0
+KIND_LIN = 1
+KIND_ABSDIFF = 2
+KIND_MAX = 3
+KIND_MIN = 4
+KIND_MUX = 5
+KIND_GATE = 6
+
+KIND_NAMES = {
+    KIND_CONST: "const",
+    KIND_LIN: "lin",
+    KIND_ABSDIFF: "absdiff",
+    KIND_MAX: "max",
+    KIND_MIN: "min",
+    KIND_MUX: "mux",
+    KIND_GATE: "gate",
+}
+
+
+@dataclasses.dataclass
+class _Block:
+    kind: int
+    inputs: Tuple[int, ...]
+    weights: Tuple[float, ...] = ()
+    constant: float = 0.0
+    threshold: float = 0.0
+    v_high: float = 0.0
+    v_low: float = 0.0
+    tau: float = 1.0e-9
+    gain: float = 1.0
+    offset: float = 0.0
+    label: str = ""
+
+
+class BlockGraph:
+    """Mutable builder for an analog block DAG.
+
+    Parameters
+    ----------
+    nonideality:
+        Error model; per-block systematic gain/offset/threshold errors
+        are drawn from it at build time (one draw per block — the same
+        chip behaves the same across runs).
+    timing:
+        Stage time-constant model.
+    ideal:
+        Shortcut: ``True`` builds a mathematically exact graph.
+    """
+
+    def __init__(
+        self,
+        nonideality: NonidealityModel = DEFAULT_NONIDEALITY,
+        timing: TimingModel = DEFAULT_TIMING,
+    ) -> None:
+        self.nonideality = nonideality
+        self.timing = timing
+        self._rng = nonideality.rng()
+        self._blocks: List[_Block] = []
+        self._outputs: Dict[str, int] = {}
+
+    # -- internals ---------------------------------------------------------
+    def _add(self, block: _Block) -> int:
+        for src in block.inputs:
+            if not 0 <= src < len(self._blocks):
+                raise ConfigurationError(
+                    f"block input {src} does not exist yet"
+                )
+        self._blocks.append(block)
+        return len(self._blocks) - 1
+
+    def _amp_errors(self, noise_gain: float) -> Tuple[float, float]:
+        """Systematic (gain, offset) pair for one amplifier stage."""
+        gain = self.nonideality.gain_factor(noise_gain)
+        offset = float(
+            self._rng.normal(0.0, self.nonideality.offset_sigma)
+        )
+        return gain, offset
+
+    def _weight_error(self, w: float, precision: bool = False) -> float:
+        """Apply the post-tuning memristor ratio tolerance to a weight.
+
+        ``precision=True`` marks ratios whose error multiplies a
+        supply-scale common-mode signal (the HauD Vcc-complement
+        stages); the Section 3.3 tuning loop is iterated further on
+        those, buying an extra 10x (bounded below by the verify
+        measurement noise).
+        """
+        tol = self.nonideality.weight_tolerance
+        if precision:
+            tol = max(tol / 10.0, 1.0e-4 if tol > 0 else 0.0)
+        if tol == 0.0 or w == 0.0:
+            return w
+        return w * (1.0 + float(self._rng.uniform(-tol, tol)))
+
+    # -- builders ----------------------------------------------------------
+    def const(self, value: float, label: str = "") -> int:
+        """A source node (DAC output or reference rail)."""
+        return self._add(
+            _Block(
+                kind=KIND_CONST,
+                inputs=(),
+                constant=float(value),
+                tau=1.0e-12,
+                label=label,
+            )
+        )
+
+    def lin(
+        self,
+        terms: Sequence[Tuple[int, float]],
+        constant: float = 0.0,
+        label: str = "",
+        is_adder: bool = False,
+        precision: bool = False,
+    ) -> int:
+        """Weighted-sum amplifier stage ``sum w_k v_k + constant``.
+
+        ``is_adder=True`` marks a row-structure summing stage whose
+        virtual-ground net carries one parasitic per input (fan-in
+        dependent tau); other lin stages are fixed-fan-in subtractors.
+        ``precision=True`` marks stages whose ratio is tuned to the
+        verify floor (see :meth:`_weight_error`).
+        """
+        if not terms:
+            raise ConfigurationError("lin block needs at least one term")
+        inputs = tuple(t[0] for t in terms)
+        weights = tuple(
+            self._weight_error(float(t[1]), precision=precision)
+            for t in terms
+        )
+        noise_gain = 1.0 + float(np.sum(np.abs(weights)))
+        gain, offset = self._amp_errors(noise_gain)
+        if is_adder:
+            tau = self.timing.adder_tau(len(inputs), noise_gain)
+        else:
+            tau = self.timing.opamp_tau(noise_gain)
+        return self._add(
+            _Block(
+                kind=KIND_LIN,
+                inputs=inputs,
+                weights=weights,
+                constant=float(constant),
+                tau=tau,
+                gain=gain,
+                offset=offset,
+                label=label,
+            )
+        )
+
+    def absdiff(
+        self, a: int, b: int, weight: float = 1.0, label: str = ""
+    ) -> int:
+        """Absolution module: ``w |V(a) - V(b)|``.
+
+        Hardware: two subtractors + two diodes; modelled as one stage
+        with the subtractor's settling and the diode's selection error.
+        """
+        w = self._weight_error(float(weight))
+        gain, offset = self._amp_errors(noise_gain=2.0)
+        offset += self.nonideality.diode_drop
+        return self._add(
+            _Block(
+                kind=KIND_ABSDIFF,
+                inputs=(a, b),
+                weights=(w,),
+                tau=self.timing.opamp_tau(2.0),
+                gain=gain,
+                offset=offset,
+                label=label,
+            )
+        )
+
+    def maximum(self, inputs: Sequence[int], label: str = "") -> int:
+        """Diode max selector."""
+        if not inputs:
+            raise ConfigurationError("max block needs inputs")
+        return self._add(
+            _Block(
+                kind=KIND_MAX,
+                inputs=tuple(inputs),
+                tau=self.timing.diode_tau(len(inputs)),
+                gain=1.0,
+                offset=-self.nonideality.diode_drop,
+                label=label,
+            )
+        )
+
+    def minimum(self, inputs: Sequence[int], label: str = "") -> int:
+        """Minimum selector (Eq. (8) complement trick in hardware).
+
+        The hardware spends two extra subtractor inversions around the
+        diode stage, so the settling is op-amp-class, not diode-class.
+        """
+        if not inputs:
+            raise ConfigurationError("min block needs inputs")
+        gain, offset = self._amp_errors(noise_gain=2.0)
+        offset += self.nonideality.diode_drop
+        return self._add(
+            _Block(
+                kind=KIND_MIN,
+                inputs=tuple(inputs),
+                tau=self.timing.opamp_tau(2.0),
+                gain=gain,
+                offset=offset,
+                label=label,
+            )
+        )
+
+    def mux(
+        self,
+        a: int,
+        b: int,
+        when_close: int,
+        when_far: int,
+        threshold: float,
+        label: str = "",
+    ) -> int:
+        """Selecting module: comparator on ``|V(a)-V(b)|`` vs threshold
+        drives two transmission gates (Fig. 2(b))."""
+        thr = float(threshold) + float(
+            self._rng.normal(
+                0.0, self.nonideality.comparator_offset_sigma
+            )
+        )
+        return self._add(
+            _Block(
+                kind=KIND_MUX,
+                inputs=(a, b, when_close, when_far),
+                threshold=thr,
+                tau=self.timing.comparator_tau,
+                label=label,
+            )
+        )
+
+    def gate(
+        self,
+        a: int,
+        b: int,
+        threshold: float,
+        v_high: float,
+        v_low: float = 0.0,
+        label: str = "",
+    ) -> int:
+        """HamD PE: ``v_high`` when ``|V(a)-V(b)| > threshold`` else
+        ``v_low`` (Eq. (6) semantics)."""
+        thr = float(threshold) + float(
+            self._rng.normal(
+                0.0, self.nonideality.comparator_offset_sigma
+            )
+        )
+        return self._add(
+            _Block(
+                kind=KIND_GATE,
+                inputs=(a, b),
+                threshold=thr,
+                v_high=float(v_high),
+                v_low=float(v_low),
+                tau=self.timing.comparator_tau,
+                label=label,
+            )
+        )
+
+    def buffer(self, src: int, label: str = "") -> int:
+        """Unity-gain buffer stage."""
+        return self.lin([(src, 1.0)], label=label)
+
+    # -- outputs and freezing ----------------------------------------------
+    def mark_output(self, name: str, block_id: int) -> None:
+        """Name a block as an observable output (ADC tap point)."""
+        if not 0 <= block_id < len(self._blocks):
+            raise ConfigurationError(f"no block {block_id}")
+        self._outputs[name] = block_id
+
+    @property
+    def outputs(self) -> Dict[str, int]:
+        return dict(self._outputs)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def block(self, block_id: int) -> _Block:
+        return self._blocks[block_id]
+
+    def freeze(self) -> "FrozenGraph":
+        """Compile to the vectorised form the engine consumes."""
+        return FrozenGraph(self)
+
+
+class FrozenGraph:
+    """Immutable, array-packed view of a :class:`BlockGraph`.
+
+    Blocks are grouped by kind; variable-arity kinds (lin/max/min) store
+    their edges contiguously for ``reduceat``-style evaluation.
+    """
+
+    def __init__(self, graph: BlockGraph) -> None:
+        blocks = graph._blocks
+        n = len(blocks)
+        self.n_blocks = n
+        self.outputs = dict(graph._outputs)
+        self.tau = np.array([b.tau for b in blocks])
+        self.kind = np.array([b.kind for b in blocks])
+        self.gain = np.array([b.gain for b in blocks])
+        self.offset = np.array([b.offset for b in blocks])
+        self.labels = [b.label for b in blocks]
+        self.supply_rail = graph.nonideality.supply_rail
+        self._inputs = [b.inputs for b in blocks]
+
+        # Critical-path settling budget: the sum of taus along the
+        # slowest input chain of each block.  Cascaded first-order
+        # stages settle in roughly ln(1/tol) times this, which sizes
+        # the transient window without trial and error.
+        critical = np.zeros(n)
+        for i, b in enumerate(blocks):
+            upstream = max(
+                (critical[s] for s in b.inputs), default=0.0
+            )
+            critical[i] = b.tau + upstream
+        self.critical_tau = critical
+
+        def ids_of(kind: int) -> np.ndarray:
+            return np.array(
+                [i for i, b in enumerate(blocks) if b.kind == kind],
+                dtype=np.intp,
+            )
+
+        # const
+        self.const_ids = ids_of(KIND_CONST)
+        self.const_values = np.array(
+            [blocks[i].constant for i in self.const_ids]
+        )
+
+        # lin: flat edge arrays + reduce offsets
+        self.lin_ids = ids_of(KIND_LIN)
+        lin_src: List[int] = []
+        lin_w: List[float] = []
+        lin_ptr = [0]
+        for i in self.lin_ids:
+            b = blocks[i]
+            lin_src.extend(b.inputs)
+            lin_w.extend(b.weights)
+            lin_ptr.append(len(lin_src))
+        self.lin_src = np.array(lin_src, dtype=np.intp)
+        self.lin_w = np.array(lin_w)
+        self.lin_ptr = np.array(lin_ptr[:-1], dtype=np.intp)
+        self.lin_const = np.array(
+            [blocks[i].constant for i in self.lin_ids]
+        )
+
+        # absdiff
+        self.abs_ids = ids_of(KIND_ABSDIFF)
+        self.abs_a = np.array(
+            [blocks[i].inputs[0] for i in self.abs_ids], dtype=np.intp
+        )
+        self.abs_b = np.array(
+            [blocks[i].inputs[1] for i in self.abs_ids], dtype=np.intp
+        )
+        self.abs_w = np.array(
+            [blocks[i].weights[0] for i in self.abs_ids]
+        )
+
+        # max / min
+        self.max_ids = ids_of(KIND_MAX)
+        self.max_src, self.max_ptr = self._pack_edges(blocks, self.max_ids)
+        self.min_ids = ids_of(KIND_MIN)
+        self.min_src, self.min_ptr = self._pack_edges(blocks, self.min_ids)
+
+        # mux
+        self.mux_ids = ids_of(KIND_MUX)
+        mux_in = np.array(
+            [blocks[i].inputs for i in self.mux_ids], dtype=np.intp
+        ).reshape(-1, 4)
+        self.mux_a = mux_in[:, 0]
+        self.mux_b = mux_in[:, 1]
+        self.mux_t = mux_in[:, 2]
+        self.mux_f = mux_in[:, 3]
+        self.mux_thr = np.array(
+            [blocks[i].threshold for i in self.mux_ids]
+        )
+
+        # gate
+        self.gate_ids = ids_of(KIND_GATE)
+        gate_in = np.array(
+            [blocks[i].inputs for i in self.gate_ids], dtype=np.intp
+        ).reshape(-1, 2)
+        self.gate_a = gate_in[:, 0]
+        self.gate_b = gate_in[:, 1]
+        self.gate_thr = np.array(
+            [blocks[i].threshold for i in self.gate_ids]
+        )
+        self.gate_high = np.array(
+            [blocks[i].v_high for i in self.gate_ids]
+        )
+        self.gate_low = np.array(
+            [blocks[i].v_low for i in self.gate_ids]
+        )
+
+    @staticmethod
+    def _pack_edges(blocks, ids) -> Tuple[np.ndarray, np.ndarray]:
+        src: List[int] = []
+        ptr = [0]
+        for i in ids:
+            src.extend(blocks[i].inputs)
+            ptr.append(len(src))
+        return np.array(src, dtype=np.intp), np.array(
+            ptr[:-1], dtype=np.intp
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Block counts per kind plus depth — the analog resource view.
+
+        ``depth`` is the longest dependency chain (stages on the
+        critical path), the quantity the convergence time scales with.
+        """
+        from collections import Counter
+
+        counts = Counter(KIND_NAMES[int(k)] for k in self.kind)
+        out: Dict[str, int] = dict(sorted(counts.items()))
+        out["total"] = self.n_blocks
+        # Depth: longest dependency chain, computed in id order (ids
+        # are topological by construction).
+        depth = [0] * self.n_blocks
+        for i, inputs in enumerate(self._inputs):
+            if inputs:
+                depth[i] = 1 + max(depth[s] for s in inputs)
+        out["depth"] = max(depth) if depth else 0
+        return out
+
+    def targets(self, v: np.ndarray) -> np.ndarray:
+        """Evaluate every block's target from the current voltages."""
+        out = np.zeros(self.n_blocks)
+        if self.const_ids.size:
+            out[self.const_ids] = self.const_values
+        if self.lin_ids.size:
+            contrib = v[self.lin_src] * self.lin_w
+            sums = np.add.reduceat(contrib, self.lin_ptr)
+            out[self.lin_ids] = sums + self.lin_const
+        if self.abs_ids.size:
+            out[self.abs_ids] = self.abs_w * np.abs(
+                v[self.abs_a] - v[self.abs_b]
+            )
+        if self.max_ids.size:
+            out[self.max_ids] = np.maximum.reduceat(
+                v[self.max_src], self.max_ptr
+            )
+        if self.min_ids.size:
+            out[self.min_ids] = np.minimum.reduceat(
+                v[self.min_src], self.min_ptr
+            )
+        if self.mux_ids.size:
+            close = (
+                np.abs(v[self.mux_a] - v[self.mux_b]) <= self.mux_thr
+            )
+            out[self.mux_ids] = np.where(
+                close, v[self.mux_t], v[self.mux_f]
+            )
+        if self.gate_ids.size:
+            far = np.abs(v[self.gate_a] - v[self.gate_b]) > self.gate_thr
+            out[self.gate_ids] = np.where(
+                far, self.gate_high, self.gate_low
+            )
+        out = out * self.gain + self.offset
+        if self.supply_rail is not None:
+            np.clip(out, -self.supply_rail, self.supply_rail, out=out)
+        return out

@@ -1,0 +1,35 @@
+"""Baselines: measured/modelled CPU and literature accelerator models."""
+
+from .cpu import (
+    CALL_OVERHEAD_CYCLES,
+    CpuMeasurement,
+    CYCLES_PER_DP_CELL,
+    CYCLES_PER_STREAM_ELEMENT,
+    I5_3470_CLOCK_HZ,
+    measure_cpu_time,
+    modelled_cpu_time,
+    operation_count,
+)
+from .literature import (
+    CALIBRATED_OURS_PER_ELEMENT_S,
+    EXISTING_WORKS,
+    ExistingWork,
+    get_existing_work,
+    speedup_vs_existing,
+)
+
+__all__ = [
+    "CALIBRATED_OURS_PER_ELEMENT_S",
+    "CALL_OVERHEAD_CYCLES",
+    "CYCLES_PER_DP_CELL",
+    "CYCLES_PER_STREAM_ELEMENT",
+    "CpuMeasurement",
+    "EXISTING_WORKS",
+    "ExistingWork",
+    "I5_3470_CLOCK_HZ",
+    "get_existing_work",
+    "measure_cpu_time",
+    "modelled_cpu_time",
+    "operation_count",
+    "speedup_vs_existing",
+]

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``compute``   one distance on software + accelerator
+``fig5``      convergence time / relative error sweep
+``fig6a``     per-element speedup vs existing works
+``fig6b``     runtime / speedup vs the CPU model
+``power``     Section 4.3 power & energy table
+``report``    everything above in one run
+``datasets``  list the available synthetic datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_compute(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "compute", help="one distance, software vs accelerator"
+    )
+    p.add_argument(
+        "function",
+        choices=["dtw", "lcs", "edit", "hausdorff", "hamming", "manhattan"],
+    )
+    p.add_argument("--length", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threshold", type=float, default=0.5)
+    p.add_argument(
+        "--ideal", action="store_true", help="mathematically exact chip"
+    )
+
+
+def _add_sweeps(sub: argparse._SubParsersAction) -> None:
+    f5 = sub.add_parser("fig5", help="Fig. 5 sweep")
+    f5.add_argument(
+        "--lengths", type=int, nargs="+", default=[10, 20, 30, 40]
+    )
+    f5.add_argument("--datasets", nargs="+", default=["Symbols"])
+    f5.add_argument(
+        "--no-time", action="store_true", help="errors only (fast)"
+    )
+
+    f6a = sub.add_parser("fig6a", help="Fig. 6(a) speedups")
+    f6a.add_argument("--length", type=int, default=40)
+
+    f6b = sub.add_parser("fig6b", help="Fig. 6(b) CPU comparison")
+    f6b.add_argument(
+        "--lengths", type=int, nargs="+", default=[10, 20, 30, 40]
+    )
+
+    sub.add_parser("power", help="Section 4.3 power & energy")
+    report = sub.add_parser("report", help="all experiments")
+    report.add_argument("--quick", action="store_true")
+    sub.add_parser("datasets", help="list synthetic datasets")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DAC'17 memristor distance accelerator — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_compute(sub)
+    _add_sweeps(sub)
+    return parser
+
+
+def _cmd_compute(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from . import distances as sw
+    from .accelerator import DistanceAccelerator
+    from .analog import IDEAL
+
+    rng = np.random.default_rng(args.seed)
+    p = rng.normal(size=args.length)
+    q = rng.normal(size=args.length)
+    kwargs = (
+        {"threshold": args.threshold}
+        if args.function in ("lcs", "edit", "hamming")
+        else {}
+    )
+    chip = (
+        DistanceAccelerator(nonideality=IDEAL, quantise_io=False)
+        if args.ideal
+        else DistanceAccelerator()
+    )
+    reference = getattr(sw, args.function)(p, q, **kwargs)
+    result = chip.compute(
+        args.function, p, q, measure_time=True, **kwargs
+    )
+    print(f"function:     {args.function} (n = {args.length})")
+    print(f"software:     {reference:.6f}")
+    print(f"accelerator:  {result.value:.6f}")
+    print(f"convergence:  {result.convergence_time_s * 1e9:.2f} ns")
+    print(f"conversion:   {result.conversion_time_s * 1e9:.2f} ns")
+    print(f"tiles:        {result.tiles}, overflow: {result.overflow}")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from .eval import run_fig5
+
+    result = run_fig5(
+        lengths=tuple(args.lengths),
+        datasets=tuple(args.datasets),
+        measure_time=not args.no_time,
+    )
+    print(result.table())
+    return 0
+
+
+def _cmd_fig6a(args: argparse.Namespace) -> int:
+    from .eval import run_fig6a
+
+    print(run_fig6a(length=args.length).table())
+    return 0
+
+
+def _cmd_fig6b(args: argparse.Namespace) -> int:
+    from .eval import run_fig6b
+
+    print(run_fig6b(lengths=tuple(args.lengths)).table())
+    return 0
+
+
+def _cmd_power(_args: argparse.Namespace) -> int:
+    from .eval import run_power_table
+
+    print(run_power_table().table())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .eval import full_report
+
+    print(full_report(quick=args.quick).render())
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from .datasets import UCR_SPECS
+
+    print(
+        f"{'name':<10} {'classes':>8} {'length':>7} {'train':>6} "
+        f"{'test':>6}"
+    )
+    for name in sorted(UCR_SPECS):
+        spec = UCR_SPECS[name]
+        print(
+            f"{name:<10} {spec.n_classes:>8} {spec.length:>7} "
+            f"{spec.train_size:>6} {spec.test_size:>6}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "compute": _cmd_compute,
+    "fig5": _cmd_fig5,
+    "fig6a": _cmd_fig6a,
+    "fig6b": _cmd_fig6b,
+    "power": _cmd_power,
+    "report": _cmd_report,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

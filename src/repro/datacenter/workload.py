@@ -1,0 +1,117 @@
+"""Data-center workload generation.
+
+The paper's Section 1 scenario: a shared data center receives a
+real-time stream of time-series mining queries from mixed applications
+— iris authentication (HamD), ECG similarity (LCS), vehicle
+classification (DTW), plus generic MD/EdD/HauD traffic — and must
+serve them with low latency and low energy.  This module generates
+that stream as a marked Poisson process: exponential inter-arrival
+times, an application mix, and per-query sequence lengths.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+#: The paper's Section 1 application mix (normalised below).
+DEFAULT_MIX: Dict[str, float] = {
+    "hamming": 0.25,  # iris authentication [29]
+    "lcs": 0.20,  # ECG similarity [10]
+    "dtw": 0.30,  # vehicle classification [31]
+    "manhattan": 0.15,  # generic similarity [8]
+    "edit": 0.05,
+    "hausdorff": 0.05,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    """One mining query: a distance computation request."""
+
+    arrival_s: float
+    function: str
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ConfigurationError("arrival time must be >= 0")
+        if self.length < 1:
+            raise ConfigurationError("length must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of the query stream.
+
+    Attributes
+    ----------
+    arrival_rate_hz:
+        Mean query arrival rate (Poisson).
+    mix:
+        Function -> probability (normalised automatically).
+    length_choices:
+        Candidate sequence lengths, drawn uniformly.
+    duration_s:
+        Stream duration.
+    seed:
+        RNG seed.
+    """
+
+    arrival_rate_hz: float = 1.0e6
+    mix: Optional[Dict[str, float]] = None
+    length_choices: Tuple[int, ...] = (10, 20, 30, 40)
+    duration_s: float = 1.0e-3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_hz <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not self.length_choices:
+            raise ConfigurationError("need at least one length")
+
+    def normalised_mix(self) -> Dict[str, float]:
+        mix = dict(self.mix) if self.mix else dict(DEFAULT_MIX)
+        total = sum(mix.values())
+        if total <= 0:
+            raise ConfigurationError("mix must have positive mass")
+        return {k: v / total for k, v in mix.items()}
+
+
+def generate_workload(spec: WorkloadSpec) -> List[Query]:
+    """Draw the query stream for ``spec`` (deterministic per seed)."""
+    rng = np.random.default_rng(spec.seed)
+    mix = spec.normalised_mix()
+    functions = sorted(mix)
+    probabilities = np.array([mix[f] for f in functions])
+    queries: List[Query] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / spec.arrival_rate_hz)
+        if t >= spec.duration_s:
+            break
+        function = functions[
+            int(rng.choice(len(functions), p=probabilities))
+        ]
+        length = int(rng.choice(spec.length_choices))
+        queries.append(
+            Query(arrival_s=t, function=function, length=length)
+        )
+    return queries
+
+
+def mix_of(queries: Sequence[Query]) -> Dict[str, float]:
+    """Empirical function mix of a generated stream."""
+    if not queries:
+        return {}
+    counts: Dict[str, int] = {}
+    for q in queries:
+        counts[q.function] = counts.get(q.function, 0) + 1
+    total = len(queries)
+    return {k: v / total for k, v in sorted(counts.items())}

@@ -1,0 +1,78 @@
+"""Software reference implementations of the six distance functions.
+
+These are the ground truth the accelerator simulation is validated
+against, and the building blocks of the :mod:`repro.mining` tasks.
+
+>>> from repro.distances import dtw, lcs, edit, hausdorff, hamming, manhattan
+>>> dtw([0, 1, 2], [0, 1, 2])
+0.0
+"""
+
+from .base import (
+    CANONICAL_ORDER,
+    DistanceInfo,
+    canonical_name,
+    get_distance,
+    list_distances,
+    pairwise_matrix,
+    register_distance,
+)
+from .dtw import dtw, dtw_matrix, dtw_path, dtw_vectorised
+from .edit import edit, edit_matrix, edit_operations
+from .hamming import hamming, hamming_count, hamming_profile
+from .hausdorff import directed_hausdorff, hausdorff, hausdorff_pairing
+from .lcs import lcs, lcs_backtrace, lcs_distance, lcs_length, lcs_matrix
+from .lower_bounds import (
+    cascading_lower_bound,
+    keogh_envelope,
+    lb_keogh,
+    lb_kim,
+)
+from .manhattan import euclidean, manhattan, manhattan_profile
+from .weights import (
+    gaussian_position_weights,
+    linear_position_weights,
+    matrix_from_position_weights,
+    recency_weights,
+    wdtw_weights,
+)
+
+__all__ = [
+    "CANONICAL_ORDER",
+    "DistanceInfo",
+    "canonical_name",
+    "cascading_lower_bound",
+    "directed_hausdorff",
+    "dtw",
+    "dtw_matrix",
+    "dtw_path",
+    "dtw_vectorised",
+    "edit",
+    "edit_matrix",
+    "edit_operations",
+    "euclidean",
+    "gaussian_position_weights",
+    "get_distance",
+    "hamming",
+    "hamming_count",
+    "hamming_profile",
+    "hausdorff",
+    "hausdorff_pairing",
+    "keogh_envelope",
+    "lb_keogh",
+    "lb_kim",
+    "lcs",
+    "lcs_backtrace",
+    "lcs_distance",
+    "lcs_length",
+    "lcs_matrix",
+    "linear_position_weights",
+    "list_distances",
+    "manhattan",
+    "manhattan_profile",
+    "matrix_from_position_weights",
+    "pairwise_matrix",
+    "recency_weights",
+    "register_distance",
+    "wdtw_weights",
+]

@@ -1,0 +1,63 @@
+"""Hamming distance for time series (Eq. 6 of the paper).
+
+Counts positions whose elements differ by more than ``threshold``,
+each counted position contributing ``w[i] * v_step``.
+
+Erratum handled here: Section 3.2.5's circuit prose says the PE outputs
+``Vstep`` when ``Pi = Qi``; Eq. (6) — standard Hamming — increments when
+they *differ*.  We follow Eq. (6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import (
+    as_non_negative_float,
+    as_positive_float,
+    as_sequence,
+    as_weight_vector,
+    require_same_length,
+)
+from .base import register_distance
+
+
+@register_distance(
+    "hamming",
+    structure="row",
+    supports_unequal_lengths=False,
+    complexity="O(n)",
+)
+def hamming(
+    p,
+    q,
+    threshold: float = 0.0,
+    v_step: float = 1.0,
+    weights=None,
+) -> float:
+    """Hamming distance ``HamD(P, Q)`` (Eq. 6); requires equal lengths."""
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    require_same_length(p, q)
+    threshold = as_non_negative_float(threshold, "threshold")
+    v_step = as_positive_float(v_step, "v_step")
+    w = as_weight_vector(weights, p.shape[0])
+    differs = np.abs(p - q) > threshold
+    return float(np.sum(w[differs]) * v_step)
+
+
+def hamming_count(p, q, threshold: float = 0.0) -> int:
+    """Unweighted Hamming distance as an integer position count."""
+    return int(round(hamming(p, q, threshold=threshold, v_step=1.0)))
+
+
+def hamming_profile(p, q, threshold: float = 0.0) -> np.ndarray:
+    """Per-position mismatch indicator (the PE outputs before the adder).
+
+    Element ``i`` is 1.0 where ``|P[i]-Q[i]| > threshold`` else 0.0 —
+    exactly the ``Ham[i]`` rail the row-structure analog adder sums.
+    """
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    require_same_length(p, q)
+    return (np.abs(p - q) > threshold).astype(np.float64)

@@ -1,0 +1,80 @@
+"""Hausdorff distance (Eq. 5 of the paper).
+
+Equation (5) is printed as ``max_{j in n}(min_{j in n} w_{i,j}|Pi-Qj|)``
+with a duplicated index; from the circuit of Fig. 2(d2) — which fixes
+``Qj``, minimises over ``i`` via the converter, then maximises over
+``j`` with the final diode stage — the intended quantity is the
+*directed* Hausdorff distance
+
+``h(Q, P) = max_j min_i w[i,j] * |P[i] - Q[j]|``.
+
+We expose both the directed form (what the hardware computes) and the
+usual symmetric form ``max(h(P,Q), h(Q,P))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import as_sequence, as_weight_matrix
+from .base import register_distance
+
+
+def _weighted_abs_diff(p: np.ndarray, q: np.ndarray, weights) -> np.ndarray:
+    w = as_weight_matrix(weights, p.shape[0], q.shape[0])
+    return w * np.abs(p[:, None] - q[None, :])
+
+
+def directed_hausdorff(p, q, weights=None) -> float:
+    """Directed Hausdorff ``h(Q, P) = max_j min_i w[i,j]|P[i]-Q[j]|``.
+
+    This is exactly what the Fig. 2(d2) PE connection evaluates: one
+    column of PEs per element of ``Q``, a converter extracting the
+    column minimum, and a final diode-max across columns.
+    """
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    cost = _weighted_abs_diff(p, q, weights)
+    return float(np.max(np.min(cost, axis=0)))
+
+
+@register_distance(
+    "hausdorff", structure="matrix", supports_unequal_lengths=True
+)
+def hausdorff(p, q, weights=None, symmetric: bool = False) -> float:
+    """Hausdorff distance between two sequences viewed as point sets.
+
+    Parameters
+    ----------
+    symmetric:
+        ``False`` (default) returns the directed distance the paper's
+        circuit computes; ``True`` returns
+        ``max(h(P,Q), h(Q,P))``.
+    """
+    if not symmetric:
+        return directed_hausdorff(p, q, weights=weights)
+    p_arr = as_sequence(p, "p")
+    q_arr = as_sequence(q, "q")
+    forward = directed_hausdorff(p_arr, q_arr, weights=weights)
+    w_t = None
+    if weights is not None:
+        w_t = as_weight_matrix(
+            weights, p_arr.shape[0], q_arr.shape[0]
+        ).T
+    backward = directed_hausdorff(q_arr, p_arr, weights=w_t)
+    return max(forward, backward)
+
+
+def hausdorff_pairing(p, q, weights=None):
+    """Return ``(distance, (i, j))`` for the argmax/argmin pair.
+
+    Useful for explaining *which* element of ``Q`` is farthest from the
+    set ``P`` — the mining examples use it to localise anomalies.
+    """
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    cost = _weighted_abs_diff(p, q, weights)
+    mins = np.min(cost, axis=0)
+    j = int(np.argmax(mins))
+    i = int(np.argmin(cost[:, j]))
+    return float(mins[j]), (i, j)

@@ -1,0 +1,117 @@
+"""Longest common subsequence for time series (Eq. 3 of the paper).
+
+Two elements "match" when ``|P[i] - Q[j]| <= threshold``; each match
+contributes ``w[i,j] * v_step`` to the score.  Unlike every other
+function here, *larger* LCS values mean *higher* similarity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..validation import (
+    as_non_negative_float,
+    as_positive_float,
+    as_sequence,
+    as_weight_matrix,
+)
+from .base import register_distance
+
+
+def lcs_matrix(
+    p,
+    q,
+    threshold: float = 0.0,
+    v_step: float = 1.0,
+    weights=None,
+) -> np.ndarray:
+    """Return the full (n+1, m+1) LCS score matrix of Eq. (3)."""
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    threshold = as_non_negative_float(threshold, "threshold")
+    v_step = as_positive_float(v_step, "v_step")
+    n, m = p.shape[0], q.shape[0]
+    w = as_weight_matrix(weights, n, m)
+
+    match = np.abs(p[:, None] - q[None, :]) <= threshold
+    score = np.zeros((n + 1, m + 1), dtype=np.float64)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if match[i - 1, j - 1]:
+                score[i, j] = score[i - 1, j - 1] + w[i - 1, j - 1] * v_step
+            else:
+                score[i, j] = max(score[i, j - 1], score[i - 1, j])
+    return score
+
+
+@register_distance(
+    "lcs",
+    structure="matrix",
+    supports_unequal_lengths=True,
+    similarity=True,
+)
+def lcs(
+    p,
+    q,
+    threshold: float = 0.0,
+    v_step: float = 1.0,
+    weights=None,
+) -> float:
+    """LCS similarity score ``LCS(P, Q) = L[n, m]`` (Eq. 3).
+
+    With ``threshold=0`` and ``v_step=1`` on integer-valued sequences
+    this is the classical longest-common-subsequence length.
+    """
+    return float(
+        lcs_matrix(p, q, threshold=threshold, v_step=v_step, weights=weights)[
+            -1, -1
+        ]
+    )
+
+
+def lcs_length(p, q, threshold: float = 0.0) -> int:
+    """Unweighted LCS length as an integer (``v_step = 1``)."""
+    return int(round(lcs(p, q, threshold=threshold, v_step=1.0)))
+
+
+def lcs_backtrace(
+    p,
+    q,
+    threshold: float = 0.0,
+) -> List[Tuple[int, int]]:
+    """Return the matched 0-based index pairs of one optimal LCS."""
+    p_arr = as_sequence(p, "p")
+    q_arr = as_sequence(q, "q")
+    score = lcs_matrix(p_arr, q_arr, threshold=threshold)
+    i, j = p_arr.shape[0], q_arr.shape[0]
+    pairs: List[Tuple[int, int]] = []
+    while i > 0 and j > 0:
+        if abs(p_arr[i - 1] - q_arr[j - 1]) <= threshold:
+            pairs.append((i - 1, j - 1))
+            i -= 1
+            j -= 1
+        elif score[i - 1, j] >= score[i, j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    pairs.reverse()
+    return pairs
+
+
+def lcs_distance(
+    p,
+    q,
+    threshold: float = 0.0,
+) -> float:
+    """A proper dissimilarity derived from LCS.
+
+    ``1 - LCS(P,Q) / min(n, m)`` — 0 when one sequence is (thresholded)
+    subsequence-contained in the other, 1 when nothing matches.  Used by
+    the mining layer, which expects "smaller is more similar".
+    """
+    p_arr = as_sequence(p, "p")
+    q_arr = as_sequence(q, "q")
+    denom = min(p_arr.shape[0], q_arr.shape[0])
+    return 1.0 - lcs(p_arr, q_arr, threshold=threshold) / denom

@@ -1,0 +1,58 @@
+"""Manhattan distance (Eq. 7 of the paper) and Euclidean distance.
+
+MD is the row-structure workhorse: ``sum_i w[i] * |P[i] - Q[i]|``.
+Fig. 5(f) of the paper is captioned "Euclidean distance" while the rest
+of the text evaluates MD; both are provided (Euclidean is not mapped to
+the accelerator, it exists for completeness and the mining layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..validation import (
+    as_sequence,
+    as_weight_vector,
+    require_same_length,
+)
+from .base import register_distance
+
+
+@register_distance(
+    "manhattan",
+    structure="row",
+    supports_unequal_lengths=False,
+    complexity="O(n)",
+)
+def manhattan(p, q, weights=None) -> float:
+    """Manhattan distance ``MD(P, Q) = sum_i w[i]|P[i]-Q[i]|`` (Eq. 7)."""
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    require_same_length(p, q)
+    w = as_weight_vector(weights, p.shape[0])
+    return float(np.sum(w * np.abs(p - q)))
+
+
+def manhattan_profile(p, q, weights=None) -> np.ndarray:
+    """Per-position contributions ``w[i]|P[i]-Q[i]|`` (the ``D[i]`` rails
+    summed by the row-structure analog adder in Fig. 2(f))."""
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    require_same_length(p, q)
+    w = as_weight_vector(weights, p.shape[0])
+    return w * np.abs(p - q)
+
+
+@register_distance(
+    "euclidean",
+    structure="row",
+    supports_unequal_lengths=False,
+    complexity="O(n)",
+)
+def euclidean(p, q, weights=None) -> float:
+    """Weighted Euclidean distance ``sqrt(sum_i w[i](P[i]-Q[i])^2)``."""
+    p = as_sequence(p, "p")
+    q = as_sequence(q, "q")
+    require_same_length(p, q)
+    w = as_weight_vector(weights, p.shape[0])
+    return float(np.sqrt(np.sum(w * (p - q) ** 2)))

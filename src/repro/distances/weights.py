@@ -1,0 +1,108 @@
+"""Weight generators for the weighted distance variants.
+
+Section 2 of the paper points to one weighted variant per function
+([23][12][6][32][21][19]); the accelerator realises any of them by
+programming memristor ratios (Section 3.2).  This module provides the
+standard weight schemes those citations use, in the shapes the
+distance functions and the accelerator expect:
+
+* :func:`wdtw_weights` — Jeong et al. [12]: modified logistic weight
+  on the warping-path index difference ``|i - j|`` (penalises large
+  time shifts).
+* :func:`linear_position_weights` / :func:`gaussian_position_weights`
+  — per-position emphasis vectors for the row-structure functions
+  (weighted MD [23] / HamD [32] style).
+* :func:`recency_weights` — exponential emphasis on the sequence tail
+  (streaming applications).
+* :func:`matrix_from_position_weights` — lift two per-position vectors
+  to the (n, m) per-cell matrix the DP functions take.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import WeightShapeError
+
+
+def wdtw_weights(
+    n: int,
+    m: Optional[int] = None,
+    g: float = 0.05,
+    w_max: float = 1.0,
+) -> np.ndarray:
+    """Modified logistic WDTW weights (Jeong et al., Pattern
+    Recognition 2011).
+
+    ``w[i, j] = w_max / (1 + exp(-g * (|i - j| - mc)))`` with ``mc``
+    the mid-point of the index-difference range; ``g`` controls how
+    sharply distant alignments are penalised (their paper sweeps
+    0.01-0.6).
+    """
+    if m is None:
+        m = n
+    if n < 1 or m < 1:
+        raise WeightShapeError("lengths must be >= 1")
+    if g < 0:
+        raise WeightShapeError("penalty g must be >= 0")
+    distance = np.abs(
+        np.arange(n)[:, None] - np.arange(m)[None, :]
+    ).astype(np.float64)
+    mid = max(n, m) / 2.0
+    return w_max / (1.0 + np.exp(-g * (distance - mid)))
+
+
+def linear_position_weights(
+    n: int, start: float = 0.5, end: float = 1.5
+) -> np.ndarray:
+    """Linearly ramped per-position weights."""
+    if n < 1:
+        raise WeightShapeError("length must be >= 1")
+    if start < 0 or end < 0:
+        raise WeightShapeError("weights must be non-negative")
+    return np.linspace(start, end, n)
+
+
+def gaussian_position_weights(
+    n: int, centre: float = 0.5, width: float = 0.25, floor: float = 0.1
+) -> np.ndarray:
+    """Bell-shaped emphasis around a relative ``centre`` in [0, 1]."""
+    if n < 1:
+        raise WeightShapeError("length must be >= 1")
+    if width <= 0:
+        raise WeightShapeError("width must be positive")
+    t = np.linspace(0.0, 1.0, n)
+    bell = np.exp(-((t - centre) ** 2) / (2.0 * width**2))
+    return floor + (1.0 - floor) * bell
+
+
+def recency_weights(n: int, decay: float = 0.9) -> np.ndarray:
+    """Exponentially increasing emphasis towards the sequence end.
+
+    ``w[i] = decay ** (n - 1 - i)``; ``decay`` in (0, 1].
+    """
+    if n < 1:
+        raise WeightShapeError("length must be >= 1")
+    if not 0.0 < decay <= 1.0:
+        raise WeightShapeError("decay must be in (0, 1]")
+    return decay ** np.arange(n - 1, -1, -1, dtype=np.float64)
+
+
+def matrix_from_position_weights(
+    row_weights, col_weights
+) -> np.ndarray:
+    """Per-cell weights ``w[i, j] = sqrt(w_row[i] * w_col[j])``.
+
+    The geometric mean keeps the matrix symmetric in its inputs and
+    reduces to the per-position vector on the diagonal when both
+    vectors coincide.
+    """
+    r = np.asarray(row_weights, dtype=np.float64)
+    c = np.asarray(col_weights, dtype=np.float64)
+    if r.ndim != 1 or c.ndim != 1:
+        raise WeightShapeError("position weights must be 1-D")
+    if np.any(r < 0) or np.any(c < 0):
+        raise WeightShapeError("weights must be non-negative")
+    return np.sqrt(r[:, None] * c[None, :])

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to discriminate the failure domain.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SequenceError(ReproError, ValueError):
+    """A time series input is malformed (wrong shape, empty, NaN...)."""
+
+
+class LengthMismatchError(SequenceError):
+    """Two sequences that must share a length do not."""
+
+
+class WeightShapeError(SequenceError):
+    """A weight array does not match the required shape."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An accelerator or circuit configuration is invalid."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A numerical solver failed to converge."""
+
+
+class NetlistError(ReproError, ValueError):
+    """A SPICE netlist is malformed (unknown node, duplicate name...)."""
+
+
+class SingularCircuitError(ConvergenceError):
+    """The MNA system is singular (floating node, shorted source...)."""
+
+
+class TuningError(ReproError, RuntimeError):
+    """Memristor resistance tuning failed to reach the target ratio."""
+
+
+class CapacityError(ConfigurationError):
+    """A workload does not fit the accelerator without tiling disabled."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name or split request is invalid."""

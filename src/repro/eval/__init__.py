@@ -1,0 +1,82 @@
+"""Experiment harness: one module per paper table/figure."""
+
+from .accuracy import (
+    AccuracyReport,
+    AccuracyRow,
+    run_accuracy_comparison,
+)
+from .fig5 import (
+    ALL_FUNCTIONS,
+    EVAL_THRESHOLD,
+    Fig5Point,
+    Fig5Result,
+    growth_ratio,
+    linearity_score,
+    run_fig5,
+)
+from .fig6a import (
+    EARLY_FUNCTIONS,
+    Fig6aResult,
+    Fig6aRow,
+    measure_per_element_latency,
+    run_fig6a,
+)
+from .fig6b import Fig6bPoint, Fig6bResult, run_fig6b
+from .montecarlo import (
+    ChipSample,
+    MonteCarloResult,
+    run_monte_carlo,
+    yield_vs_tolerance,
+)
+from .power_table import PowerRow, PowerTable, run_power_table
+from .report import FullReport, full_report
+from .sensitivity import (
+    KNOBS,
+    SensitivityReport,
+    SensitivityRow,
+    run_sensitivity,
+)
+from .sweep import (
+    BandSweepRow,
+    ResolutionSweepRow,
+    run_band_sweep,
+    run_resolution_sweep,
+)
+
+__all__ = [
+    "ALL_FUNCTIONS",
+    "AccuracyReport",
+    "AccuracyRow",
+    "BandSweepRow",
+    "ChipSample",
+    "EARLY_FUNCTIONS",
+    "EVAL_THRESHOLD",
+    "Fig5Point",
+    "Fig5Result",
+    "Fig6aResult",
+    "Fig6aRow",
+    "Fig6bPoint",
+    "Fig6bResult",
+    "FullReport",
+    "KNOBS",
+    "MonteCarloResult",
+    "PowerRow",
+    "PowerTable",
+    "ResolutionSweepRow",
+    "SensitivityReport",
+    "SensitivityRow",
+    "full_report",
+    "growth_ratio",
+    "linearity_score",
+    "measure_per_element_latency",
+    "run_accuracy_comparison",
+    "run_band_sweep",
+    "run_monte_carlo",
+    "run_fig5",
+    "run_fig6a",
+    "run_fig6b",
+    "run_power_table",
+    "run_resolution_sweep",
+    "run_sensitivity",
+    "yield_vs_tolerance",
+]

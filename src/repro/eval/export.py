@@ -1,0 +1,132 @@
+"""CSV export of regenerated figure data.
+
+The paper's figures are plots; this repository regenerates their
+underlying *series*.  These helpers dump them as plain CSV so any
+plotting tool can redraw Fig. 5 / Fig. 6 (no plotting dependency is
+taken: the environment is offline and headless).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from .fig5 import Fig5Result
+from .fig6a import Fig6aResult
+from .fig6b import Fig6bResult
+from .power_table import PowerTable
+
+PathLike = Union[str, Path]
+
+
+def export_fig5_csv(result: Fig5Result, path: PathLike) -> Path:
+    """One row per (function, length): convergence time + error."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "function",
+                "length",
+                "convergence_time_ns",
+                "relative_error",
+                "runs",
+            ]
+        )
+        for p in result.points:
+            writer.writerow(
+                [
+                    p.function,
+                    p.length,
+                    f"{p.mean_convergence_ns:.6g}",
+                    f"{p.mean_relative_error:.6g}",
+                    p.n_runs,
+                ]
+            )
+    return path
+
+
+def export_fig6a_csv(result: Fig6aResult, path: PathLike) -> Path:
+    """One row per function: ours vs existing per-element latency."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "function",
+                "ours_ns_per_element",
+                "existing_ns_per_element",
+                "platform",
+                "speedup",
+                "early_determination",
+            ]
+        )
+        for r in result.rows:
+            writer.writerow(
+                [
+                    r.function,
+                    f"{r.ours_per_element_ns:.6g}",
+                    f"{r.existing_per_element_ns:.6g}",
+                    r.existing_platform,
+                    f"{r.speedup:.6g}",
+                    int(r.early_determination),
+                ]
+            )
+    return path
+
+
+def export_fig6b_csv(result: Fig6bResult, path: PathLike) -> Path:
+    """One row per (function, length): runtimes and speedup."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "function",
+                "length",
+                "ours_ns",
+                "cpu_model_ns",
+                "speedup",
+            ]
+        )
+        for p in result.points:
+            writer.writerow(
+                [
+                    p.function,
+                    p.length,
+                    f"{p.ours_ns:.6g}",
+                    f"{p.cpu_model_ns:.6g}",
+                    f"{p.speedup_vs_model:.6g}",
+                ]
+            )
+    return path
+
+
+def export_power_csv(table: PowerTable, path: PathLike) -> Path:
+    """One row per function: power and energy comparison."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "function",
+                "ours_w",
+                "paper_w",
+                "existing_w",
+                "speedup",
+                "energy_improvement",
+            ]
+        )
+        for r in table.rows:
+            writer.writerow(
+                [
+                    r.function,
+                    f"{r.ours_w:.6g}",
+                    f"{r.paper_reported_w:.6g}",
+                    f"{r.existing_w:.6g}",
+                    f"{r.speedup:.6g}",
+                    f"{r.energy_improvement:.6g}",
+                ]
+            )
+    return path

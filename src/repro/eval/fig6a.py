@@ -1,0 +1,123 @@
+"""Fig. 6(a) reproduction: per-element speedup vs existing works.
+
+"As all existing hardware accelerations and our work have a linear time
+complexity of the sequence length, the processing time of each element
+in sequences is analyzed for speedup discussion.  For HamD and MD, the
+optimization method early determination is adopted, and the point with
+one-tenth convergence time is set as Early Point."
+
+The harness measures our per-element latency from the behavioural
+simulator (at a configurable length, default 40 — the paper's longest),
+applies the 10x early-determination credit to HamD/MD, and divides the
+modelled existing-work per-element latencies by it.  Expected outcome:
+speedups spanning roughly 3.5x-376x with LCS and HamD among the
+largest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..accelerator import DistanceAccelerator
+from ..accelerator.early import EARLY_FRACTION
+from ..baselines.literature import EXISTING_WORKS, get_existing_work
+from ..datasets import load_dataset, sample_pairs
+from .fig5 import ALL_FUNCTIONS, _distance_kwargs
+
+#: Functions that benefit from early determination (row structure).
+EARLY_FUNCTIONS = ("hamming", "manhattan")
+
+
+@dataclasses.dataclass
+class Fig6aRow:
+    """One bar group of Fig. 6(a)."""
+
+    function: str
+    ours_per_element_ns: float
+    existing_per_element_ns: float
+    existing_platform: str
+    existing_reference: str
+    speedup: float
+    early_determination: bool
+
+
+@dataclasses.dataclass
+class Fig6aResult:
+    rows: List[Fig6aRow]
+
+    @property
+    def speedup_range(self) -> "tuple[float, float]":
+        speedups = [r.speedup for r in self.rows]
+        return min(speedups), max(speedups)
+
+    def table(self) -> str:
+        lines = [
+            f"{'function':<10} {'ours (ns/el)':>13} "
+            f"{'existing (ns/el)':>17} {'platform':>9} {'speedup':>9}"
+        ]
+        for r in self.rows:
+            early = " (early)" if r.early_determination else ""
+            lines.append(
+                f"{r.function:<10} {r.ours_per_element_ns:>13.3f} "
+                f"{r.existing_per_element_ns:>17.1f} "
+                f"{r.existing_platform:>9} {r.speedup:>8.1f}x{early}"
+            )
+        lo, hi = self.speedup_range
+        lines.append(f"speedup range: {lo:.1f}x - {hi:.1f}x")
+        return "\n".join(lines)
+
+
+def measure_per_element_latency(
+    function: str,
+    length: int = 40,
+    accelerator: Optional[DistanceAccelerator] = None,
+    dataset: str = "Symbols",
+    seed: int = 7,
+) -> float:
+    """Mean per-element convergence time (seconds) at one length."""
+    if accelerator is None:
+        accelerator = DistanceAccelerator(quantise_io=False)
+    pairs = sample_pairs(load_dataset(dataset), length, seed=seed)
+    kwargs = _distance_kwargs(function)
+    times = []
+    for p, q, _same in pairs:
+        result = accelerator.compute(
+            function, p, q, measure_time=True, **kwargs
+        )
+        times.append(result.convergence_time_s / length)
+    return float(np.mean(times))
+
+
+def run_fig6a(
+    functions: Sequence[str] = ALL_FUNCTIONS,
+    length: int = 40,
+    accelerator: Optional[DistanceAccelerator] = None,
+    apply_early_determination: bool = True,
+) -> Fig6aResult:
+    """Measure speedups against the modelled existing works."""
+    rows: List[Fig6aRow] = []
+    for function in functions:
+        per_element = measure_per_element_latency(
+            function, length=length, accelerator=accelerator
+        )
+        early = (
+            apply_early_determination and function in EARLY_FUNCTIONS
+        )
+        if early:
+            per_element *= EARLY_FRACTION
+        existing = get_existing_work(function)
+        rows.append(
+            Fig6aRow(
+                function=function,
+                ours_per_element_ns=per_element * 1e9,
+                existing_per_element_ns=existing.per_element_s * 1e9,
+                existing_platform=existing.platform,
+                existing_reference=existing.reference,
+                speedup=existing.per_element_s / per_element,
+                early_determination=early,
+            )
+        )
+    return Fig6aResult(rows=rows)

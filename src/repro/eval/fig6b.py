@@ -1,0 +1,124 @@
+"""Fig. 6(b) reproduction: runtime & speedup vs a CPU implementation.
+
+The paper compares whole-computation runtime against single-threaded C
+on an i5-3470 across sequence lengths, reporting 20x-1000x speedups that
+*grow with length* for the O(n^2) functions and are smaller for the
+O(n) HamD/MD.  Both effects are asymptotic: the accelerator computes a
+whole DP matrix in O(n) analog settling time, so the O(n^2) CPU loses
+ground linearly, while O(n) functions only win by the (constant)
+per-element gap.
+
+Two CPU baselines are reported: the i5-3470 cycle model (the paper's
+hardware) and, optionally, wall-clock measurements of this machine's
+software implementations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..accelerator import DistanceAccelerator
+from ..accelerator.early import EARLY_FRACTION
+from ..baselines.cpu import measure_cpu_time, modelled_cpu_time
+from ..datasets import load_dataset, sample_pairs
+from .fig5 import ALL_FUNCTIONS, _distance_kwargs
+from .fig6a import EARLY_FUNCTIONS
+
+
+@dataclasses.dataclass
+class Fig6bPoint:
+    """One (function, length) point of Fig. 6(b)."""
+
+    function: str
+    length: int
+    ours_ns: float
+    cpu_model_ns: float
+    cpu_measured_ns: Optional[float]
+    speedup_vs_model: float
+
+
+@dataclasses.dataclass
+class Fig6bResult:
+    points: List[Fig6bPoint]
+
+    def series(self, function: str):
+        rows = sorted(
+            (p for p in self.points if p.function == function),
+            key=lambda p: p.length,
+        )
+        return (
+            [p.length for p in rows],
+            [p.ours_ns for p in rows],
+            [p.speedup_vs_model for p in rows],
+        )
+
+    def table(self) -> str:
+        lines = [
+            f"{'function':<10} {'len':>4} {'ours (ns)':>10} "
+            f"{'cpu model (ns)':>15} {'speedup':>9}"
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.function:<10} {p.length:>4} {p.ours_ns:>10.1f} "
+                f"{p.cpu_model_ns:>15.1f} {p.speedup_vs_model:>8.1f}x"
+            )
+        return "\n".join(lines)
+
+
+def run_fig6b(
+    functions: Sequence[str] = ALL_FUNCTIONS,
+    lengths: Sequence[int] = (10, 20, 30, 40),
+    accelerator: Optional[DistanceAccelerator] = None,
+    dataset: str = "OSULeaf",
+    seed: int = 11,
+    measure_wall_clock: bool = False,
+    apply_early_determination: bool = True,
+) -> Fig6bResult:
+    """Run the CPU-comparison sweep."""
+    if accelerator is None:
+        accelerator = DistanceAccelerator(quantise_io=False)
+    data = load_dataset(dataset)
+    points: List[Fig6bPoint] = []
+    for function in functions:
+        kwargs = _distance_kwargs(function)
+        for length in lengths:
+            pairs = sample_pairs(data, length, seed=seed)
+            ours: List[float] = []
+            measured: List[float] = []
+            for p, q, _same in pairs:
+                result = accelerator.compute(
+                    function, p, q, measure_time=True, **kwargs
+                )
+                t = result.convergence_time_s
+                if (
+                    apply_early_determination
+                    and function in EARLY_FUNCTIONS
+                ):
+                    t *= EARLY_FRACTION
+                ours.append(t)
+                if measure_wall_clock:
+                    measured.append(
+                        measure_cpu_time(
+                            function, p, q, **kwargs
+                        ).measured_s
+                    )
+            ours_mean = float(np.mean(ours))
+            cpu_model = modelled_cpu_time(function, length)
+            points.append(
+                Fig6bPoint(
+                    function=function,
+                    length=int(length),
+                    ours_ns=ours_mean * 1e9,
+                    cpu_model_ns=cpu_model * 1e9,
+                    cpu_measured_ns=(
+                        float(np.mean(measured)) * 1e9
+                        if measured
+                        else None
+                    ),
+                    speedup_vs_model=cpu_model / ours_mean,
+                )
+            )
+    return Fig6bResult(points=points)

@@ -1,0 +1,67 @@
+"""Aggregated experiment report (everything the paper's Section 4 shows).
+
+:func:`full_report` runs every harness at a chosen fidelity and prints
+the paper-style tables; the ``examples/reproduce_paper.py`` script and
+the benchmark suite both drive it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from .fig5 import Fig5Result, run_fig5
+from .fig6a import Fig6aResult, run_fig6a
+from .fig6b import Fig6bResult, run_fig6b
+from .power_table import PowerTable, run_power_table
+
+
+@dataclasses.dataclass
+class FullReport:
+    """Container for all regenerated artefacts."""
+
+    fig5: Fig5Result
+    fig6a: Fig6aResult
+    fig6b: Fig6bResult
+    power: PowerTable
+
+    def render(self) -> str:
+        sections = [
+            "=" * 68,
+            "Fig. 5 — convergence time and relative error vs length",
+            "=" * 68,
+            self.fig5.table(),
+            "",
+            "=" * 68,
+            "Fig. 6(a) — per-element speedup vs existing works",
+            "=" * 68,
+            self.fig6a.table(),
+            "",
+            "=" * 68,
+            "Fig. 6(b) — runtime and speedup vs CPU (i5-3470 model)",
+            "=" * 68,
+            self.fig6b.table(),
+            "",
+            "=" * 68,
+            "Section 4.3 — power and energy efficiency",
+            "=" * 68,
+            self.power.table(),
+        ]
+        return "\n".join(sections)
+
+
+def full_report(
+    lengths: Sequence[int] = (10, 20, 30, 40),
+    fig6a_length: int = 40,
+    quick: bool = False,
+) -> FullReport:
+    """Run every experiment; ``quick=True`` shrinks the sweeps."""
+    if quick:
+        lengths = (8, 16)
+        fig6a_length = 16
+    fig5 = run_fig5(lengths=lengths)
+    fig6a = run_fig6a(length=fig6a_length)
+    fig6b = run_fig6b(lengths=lengths)
+    speedups = {row.function: row.speedup for row in fig6a.rows}
+    power = run_power_table(speedups=speedups)
+    return FullReport(fig5=fig5, fig6a=fig6a, fig6b=fig6b, power=power)

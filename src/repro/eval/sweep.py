@@ -1,0 +1,133 @@
+"""Ablation sweeps (experiment A3 of DESIGN.md).
+
+Two design-choice sweeps the paper fixes without exploring:
+
+* **Sakoe-Chiba band fraction** — the Section 4.3 power analysis uses
+  R = 5 % x n; this sweep shows accuracy (vs unconstrained DTW) and
+  active-PE count (power) across fractions.
+* **Voltage resolution** — Table 1 fixes 20 mV per unit "considering
+  sequence length"; this sweep shows the accuracy/overflow trade-off:
+  finer resolution loses signal under analog offsets, coarser
+  resolution drives DP voltages toward the rails.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..accelerator import (
+    AcceleratorParameters,
+    DistanceAccelerator,
+    active_pe_count,
+)
+from ..datasets import load_dataset, sample_pairs
+from ..distances import dtw
+
+
+@dataclasses.dataclass
+class BandSweepRow:
+    band_fraction: float
+    mean_abs_band_gap: float
+    mean_relative_error_vs_sw: float
+    active_pes_at_128: float
+
+
+@dataclasses.dataclass
+class ResolutionSweepRow:
+    resolution_mv: float
+    mean_relative_error: float
+    overflow_fraction: float
+    max_output_voltage: float
+
+
+def run_band_sweep(
+    fractions: Sequence[float] = (0.025, 0.05, 0.1, 0.25, 1.0),
+    length: int = 24,
+    dataset: str = "Beef",
+    seed: int = 5,
+    n_pairs: int = 2,
+) -> List[BandSweepRow]:
+    """Accuracy/power trade-off of the Sakoe-Chiba constraint.
+
+    ``mean_abs_band_gap`` is the *software* gap between banded and
+    unconstrained DTW (how much the constraint distorts the metric);
+    ``mean_relative_error_vs_sw`` is the accelerator's error against
+    the banded software reference at the same fraction.
+    """
+    accelerator = DistanceAccelerator(quantise_io=False)
+    pairs = sample_pairs(
+        load_dataset(dataset), length, seed=seed, n_pairs=n_pairs
+    )
+    rows: List[BandSweepRow] = []
+    for fraction in fractions:
+        gaps: List[float] = []
+        errors: List[float] = []
+        for p, q, _same in pairs:
+            unbounded = dtw(p, q)
+            banded = dtw(p, q, band=fraction)
+            gaps.append(abs(banded - unbounded))
+            hw = accelerator.compute("dtw", p, q, band=fraction).value
+            errors.append(abs(hw - banded) / max(abs(banded), 1e-9))
+        rows.append(
+            BandSweepRow(
+                band_fraction=float(fraction),
+                mean_abs_band_gap=float(np.mean(gaps)),
+                mean_relative_error_vs_sw=float(np.mean(errors)),
+                active_pes_at_128=active_pe_count(
+                    "dtw",
+                    128,
+                    params=AcceleratorParameters(
+                        band_fraction=fraction
+                    ),
+                ),
+            )
+        )
+    return rows
+
+
+def run_resolution_sweep(
+    resolutions_mv: Sequence[float] = (5.0, 10.0, 20.0, 40.0),
+    function: str = "dtw",
+    length: int = 24,
+    dataset: str = "Symbols",
+    seed: int = 9,
+    n_pairs: int = 2,
+) -> List[ResolutionSweepRow]:
+    """Accuracy/overflow trade-off of the value-to-voltage scale."""
+    from ..distances import dtw as sw_dtw
+
+    pairs = sample_pairs(
+        load_dataset(dataset), length, seed=seed, n_pairs=n_pairs
+    )
+    rows: List[ResolutionSweepRow] = []
+    for res_mv in resolutions_mv:
+        params = AcceleratorParameters(
+            voltage_resolution=res_mv * 1e-3
+        )
+        accelerator = DistanceAccelerator(
+            params=params, quantise_io=False
+        )
+        errors: List[float] = []
+        overflows: List[bool] = []
+        max_v = 0.0
+        for p, q, _same in pairs:
+            reference = sw_dtw(p, q)
+            result = accelerator.compute(function, p, q)
+            errors.append(
+                abs(result.value - reference)
+                / max(abs(reference), 1e-9)
+            )
+            overflows.append(result.overflow)
+            max_v = max(max_v, result.raw_voltage)
+        rows.append(
+            ResolutionSweepRow(
+                resolution_mv=float(res_mv),
+                mean_relative_error=float(np.mean(errors)),
+                overflow_fraction=float(np.mean(overflows)),
+                max_output_voltage=max_v,
+            )
+        )
+    return rows

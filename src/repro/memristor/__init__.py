@@ -1,0 +1,68 @@
+"""Memristor device models, variation, tuning and crossbar structures.
+
+Implements Table 2 of the paper (stochastic Biolek model), the
+deterministic Biolek drift model it builds on, the Section 3.3
+resistance-tuning and process-variation machinery, and the row/crossbar
+weighted-sum structures of Fig. 1.
+"""
+
+from .biolek import (
+    BiolekMemristor,
+    BiolekParameters,
+    biolek_window,
+    simulate_sinusoidal_sweep,
+)
+from .crossbar import CrossbarArray, RowAdder
+from .device import (
+    DeviceParameters,
+    Memristor,
+    PAPER_PARAMETERS,
+    ratio_pair,
+)
+from .stochastic import (
+    StochasticMemristor,
+    expected_disturb_probability,
+    switching_probability,
+    switching_rate,
+)
+from .tuning import (
+    TuningConfig,
+    TuningResult,
+    tune_adder_bank,
+    tune_ratio,
+    tune_weight_bank,
+    VERIFY_VOLTAGE,
+)
+from .variation import (
+    PAPER_VARIATION,
+    VariationModel,
+    fabricate_ratio_pair,
+    perturb_resistance,
+)
+
+__all__ = [
+    "BiolekMemristor",
+    "BiolekParameters",
+    "CrossbarArray",
+    "DeviceParameters",
+    "Memristor",
+    "PAPER_PARAMETERS",
+    "PAPER_VARIATION",
+    "RowAdder",
+    "StochasticMemristor",
+    "TuningConfig",
+    "TuningResult",
+    "VERIFY_VOLTAGE",
+    "VariationModel",
+    "biolek_window",
+    "expected_disturb_probability",
+    "fabricate_ratio_pair",
+    "perturb_resistance",
+    "ratio_pair",
+    "simulate_sinusoidal_sweep",
+    "switching_probability",
+    "switching_rate",
+    "tune_adder_bank",
+    "tune_ratio",
+    "tune_weight_bank",
+]

@@ -1,0 +1,168 @@
+"""Memristor weighted-sum structures (the Fig. 1 row structure).
+
+The row structure computes ``Vout = -sum_i (M0 / Mi) * Vi`` with an
+inverting summing amplifier whose feedback resistor is ``M0`` and whose
+input resistors are the ``Mi``: the weight of input ``i`` is the
+conductance ratio ``M0 / Mi``.  For unweighted distances all ratios are
+1 (HRS/HRS); weighted variants program arbitrary ratios.
+
+:class:`RowAdder` models that stage including finite op-amp gain and
+device-level resistance error; :class:`CrossbarArray` generalises to a
+full analog matrix-vector multiply used by the tiling layer when many
+rows share inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .device import DeviceParameters, Memristor, PAPER_PARAMETERS
+
+
+class RowAdder:
+    """Inverting analog adder with memristive weights (Fig. 4(b)).
+
+    Parameters
+    ----------
+    weights:
+        Desired weights ``w_i = M0 / Mi``; each must satisfy
+        ``r_on <= M0 / w_i <= r_off`` for the chosen feedback device.
+    open_loop_gain:
+        Op-amp open-loop gain A0 (Table 1: 1e4); introduces the
+        characteristic ``noise_gain / A0`` relative error.
+    params:
+        Device parameters for the memristors.
+    """
+
+    def __init__(
+        self,
+        weights: Sequence[float],
+        open_loop_gain: float = 1.0e4,
+        params: DeviceParameters = PAPER_PARAMETERS,
+        feedback_resistance: Optional[float] = None,
+    ) -> None:
+        weights = [float(w) for w in weights]
+        if not weights:
+            raise ConfigurationError("adder needs at least one input")
+        if any(w <= 0 for w in weights):
+            raise ConfigurationError("weights must be positive")
+        if open_loop_gain <= 1:
+            raise ConfigurationError("open-loop gain must exceed 1")
+        self.params = params
+        self.open_loop_gain = float(open_loop_gain)
+        if feedback_resistance is None:
+            # Choose M0 so every input device fits in [r_on, r_off]:
+            # Mi = M0 / wi, so M0 <= r_off * min(w) and M0 >= r_on * max(w).
+            upper = params.r_off * min(weights)
+            lower = params.r_on * max(weights)
+            if lower > upper:
+                raise ConfigurationError(
+                    "weight spread too large for the device range"
+                )
+            feedback_resistance = upper
+        self.feedback = Memristor(params)
+        self.feedback.set_resistance(feedback_resistance)
+        self.inputs: List[Memristor] = []
+        for w in weights:
+            device = Memristor(params)
+            device.set_resistance(feedback_resistance / w)
+            self.inputs.append(device)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Realised weights ``M0 / Mi`` from the actual resistances."""
+        m0 = self.feedback.resistance
+        return np.array([m0 / d.resistance for d in self.inputs])
+
+    def output(self, voltages: Sequence[float]) -> float:
+        """Ideal-topology output ``-sum_i w_i V_i`` with finite gain.
+
+        Finite open-loop gain A0 scales the ideal output by
+        ``A0 / (A0 + G_noise)`` where the noise gain is
+        ``1 + sum_i w_i``.
+        """
+        v = np.asarray(voltages, dtype=np.float64)
+        if v.shape != (len(self.inputs),):
+            raise ConfigurationError(
+                f"expected {len(self.inputs)} input voltages, got "
+                f"{v.shape}"
+            )
+        ideal = -float(np.dot(self.weights, v))
+        noise_gain = 1.0 + float(np.sum(self.weights))
+        return ideal * self.open_loop_gain / (
+            self.open_loop_gain + noise_gain
+        )
+
+    def power(self, voltages: Sequence[float]) -> float:
+        """Static power dissipated in the memristor network (watts).
+
+        Sum of ``V_i^2 / M_i`` over inputs plus ``Vout^2 / M0`` —
+        feeding the Section 4.3 memristor-power term.
+        """
+        v = np.asarray(voltages, dtype=np.float64)
+        p_in = float(
+            np.sum(v**2 / [d.resistance for d in self.inputs])
+        )
+        vout = self.output(voltages)
+        return p_in + vout**2 / self.feedback.resistance
+
+
+class CrossbarArray:
+    """Dense memristor crossbar computing ``I = G @ V``.
+
+    Rows are output lines (each terminated in a virtual-ground sense
+    amplifier), columns are input lines.  Conductances are programmed
+    from a weight matrix via ``G = W * g_unit`` with
+    ``g_unit = 1 / r_off``; weights must be non-negative and bounded by
+    ``r_off / r_on`` so every device is programmable.
+    """
+
+    def __init__(
+        self,
+        weight_matrix,
+        params: DeviceParameters = PAPER_PARAMETERS,
+    ) -> None:
+        w = np.asarray(weight_matrix, dtype=np.float64)
+        if w.ndim != 2 or w.size == 0:
+            raise ConfigurationError("weight matrix must be 2-D")
+        if np.any(w < 0):
+            raise ConfigurationError("crossbar weights must be >= 0")
+        max_weight = params.r_off / params.r_on
+        if np.any(w > max_weight):
+            raise ConfigurationError(
+                f"weights above device limit {max_weight:.3g}"
+            )
+        self.params = params
+        self.shape = w.shape
+        g_unit = 1.0 / params.r_off
+        # Zero weight is approximated by HRS (the off-state leakage).
+        self.conductance = np.where(
+            w <= 0.0, g_unit * 1.0e-3, w * g_unit
+        )
+
+    def matvec(self, voltages) -> np.ndarray:
+        """Output currents ``I = G @ V`` (amperes)."""
+        v = np.asarray(voltages, dtype=np.float64)
+        if v.shape != (self.shape[1],):
+            raise ConfigurationError(
+                f"expected {self.shape[1]} column voltages"
+            )
+        return self.conductance @ v
+
+    def weighted_sums(self, voltages, r_sense: float = None) -> np.ndarray:
+        """Row outputs as voltages via transimpedance ``r_sense``.
+
+        Defaults to ``r_off`` so a weight of 1 maps an input voltage to
+        itself — the behaviour the row structure relies on.
+        """
+        if r_sense is None:
+            r_sense = self.params.r_off
+        return self.matvec(voltages) * r_sense
+
+    def static_power(self, voltages) -> float:
+        """Total device power ``sum_ij G_ij V_j^2`` (virtual-ground rows)."""
+        v = np.asarray(voltages, dtype=np.float64)
+        return float(np.sum(self.conductance @ (v**2)))

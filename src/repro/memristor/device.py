@@ -1,0 +1,150 @@
+"""Core memristor device abstraction.
+
+The accelerator uses memristors in two roles (Section 3.1):
+
+1. As *configurable resistors* around op-amps — the resistance ratio
+   sets gains/weights; only HRS and LRS are used for unweighted
+   distances, arbitrary ratios for weighted variants.
+2. As *computation elements* in the row-structure weighted sum.
+
+:class:`Memristor` holds the device state ``x`` (normalised dopant
+position in [0, 1]) and maps it to a resistance between ``r_on`` (LRS)
+and ``r_off`` (HRS).  Dynamic models (deterministic Biolek, stochastic
+Biolek) subclass or wrap it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class DeviceParameters:
+    """Static memristor device parameters (Table 2 of the paper).
+
+    Attributes
+    ----------
+    r_on:
+        Low resistance state, ohms (paper: 1 kOhm).
+    r_off:
+        High resistance state, ohms (paper: 100 kOhm).
+    v_t0:
+        Filament-formation threshold voltage (paper: 3.0 V).
+    delta_v:
+        Exponential slope of the switching-rate law (paper: 0.2 V).
+    tau:
+        Characteristic switching time constant at zero bias
+        (paper: 2.85e5 s).
+    v0:
+        Rate-law reference voltage (paper: 0.156 V).
+    delta_r:
+        Relative cycle-to-cycle spread of R_on / R_off (paper: 5 %).
+    """
+
+    r_on: float = 1.0e3
+    r_off: float = 100.0e3
+    v_t0: float = 3.0
+    delta_v: float = 0.2
+    tau: float = 2.85e5
+    v0: float = 0.156
+    delta_r: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise ConfigurationError("resistances must be positive")
+        if self.r_off <= self.r_on:
+            raise ConfigurationError("r_off must exceed r_on")
+        if self.delta_v <= 0 or self.tau <= 0 or self.v0 <= 0:
+            raise ConfigurationError(
+                "switching parameters must be positive"
+            )
+        if not 0.0 <= self.delta_r < 1.0:
+            raise ConfigurationError("delta_r must be in [0, 1)")
+
+
+#: Table 2 of the paper, verbatim.
+PAPER_PARAMETERS = DeviceParameters()
+
+
+class Memristor:
+    """A single memristor with internal state ``x`` in [0, 1].
+
+    ``x = 1`` is fully ON (LRS), ``x = 0`` fully OFF (HRS); the
+    resistance interpolates linearly:
+
+    ``R(x) = r_on * x + r_off * (1 - x)``
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters = PAPER_PARAMETERS,
+        x: float = 0.0,
+    ) -> None:
+        if not 0.0 <= x <= 1.0:
+            raise ConfigurationError("state x must lie in [0, 1]")
+        self.params = params
+        self.x = float(x)
+
+    @property
+    def resistance(self) -> float:
+        """Instantaneous resistance in ohms."""
+        p = self.params
+        return p.r_on * self.x + p.r_off * (1.0 - self.x)
+
+    @property
+    def conductance(self) -> float:
+        """Instantaneous conductance in siemens."""
+        return 1.0 / self.resistance
+
+    def set_resistance(self, target: float) -> None:
+        """Program the state so that ``resistance == target`` exactly.
+
+        Idealised write used by tests and by the tuning procedure as
+        its "apply modulation pulse" primitive; the stochastic model
+        and process variation perturb around it.
+        """
+        p = self.params
+        if not p.r_on <= target <= p.r_off:
+            raise ConfigurationError(
+                f"target resistance {target} outside "
+                f"[{p.r_on}, {p.r_off}]"
+            )
+        self.x = (p.r_off - target) / (p.r_off - p.r_on)
+
+    def set_hrs(self) -> None:
+        """Program the device to its high resistance state."""
+        self.x = 0.0
+
+    def set_lrs(self) -> None:
+        """Program the device to its low resistance state."""
+        self.x = 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Memristor(R={self.resistance:.3g} ohm, x={self.x:.3f})"
+
+
+def ratio_pair(
+    ratio: float,
+    params: DeviceParameters = PAPER_PARAMETERS,
+) -> "tuple[Memristor, Memristor]":
+    """Create two memristors ``(m1, m2)`` with ``m1.R / m2.R == ratio``.
+
+    Used to realise weight configurations like the DTW rule
+    ``M1/M2 = (2 - w) / w`` from Section 3.2.1.  The pair is placed to
+    maximise headroom: the larger resistance is anchored at HRS.
+    """
+    if ratio <= 0:
+        raise ConfigurationError("resistance ratio must be positive")
+    m1 = Memristor(params)
+    m2 = Memristor(params)
+    if ratio >= 1.0:
+        m1.set_resistance(params.r_off)
+        m2.set_resistance(params.r_off / ratio)
+    else:
+        m2.set_resistance(params.r_off)
+        m1.set_resistance(params.r_off * ratio)
+    return m1, m2

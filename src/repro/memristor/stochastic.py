@@ -1,0 +1,147 @@
+"""Stochastic Biolek memristor model (Table 2 of the paper).
+
+Al-Shedivat, Naous et al. ("Memristors empower spiking neurons with
+stochasticity", IEEE JETCAS 2015, the paper's reference [5]) model
+resistive switching as a Poisson process: the mean time to form a
+filament falls exponentially with bias,
+
+``tau_switch(V) = tau * exp(-|V| / v0)``,
+
+gated by a soft threshold at ``v_t0`` of width ``delta_v`` (the
+filament only nucleates once the bias clears the forming voltage).
+With the Table 2 parameters — ``tau = 2.85e5 s``, ``v0 = 0.156 V``,
+``v_t0 = 3.0 V``, ``delta_v = 0.2 V`` — a 4 V write pulse switches in
+~1 us (the "transition time of about 1 us" of Section 4.2) while a
+0.25 V compute voltage has a mean switching time beyond 1e10 s.  On a
+successful event the new resistance lands with +/- ``delta_r`` (5 %)
+spread around the nominal R_on / R_off.
+
+Section 4.2 of the paper argues the accelerator is immune to this
+nondeterminism because (a) all compute voltages are <= Vcc/4 = 0.25 V,
+far below ``v_t0 = 3 V``, and (b) compute time (~ns) is far below the
+~1 us transition time.  :func:`switching_probability` lets the
+benchmarks verify both claims quantitatively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .device import DeviceParameters, Memristor, PAPER_PARAMETERS
+
+
+def switching_rate(
+    voltage: float,
+    params: DeviceParameters = PAPER_PARAMETERS,
+) -> float:
+    """Poisson switching rate (1/s) at a given applied |voltage|.
+
+    ``rate(V) = (1 / tau) * exp(|V| / v0) * sigmoid((|V| - v_t0) / delta_v)``
+
+    The exponential term is the field-accelerated filament growth; the
+    sigmoid is the soft forming threshold (probability that the bias
+    exceeds the device's stochastic threshold voltage).
+    """
+    v = abs(float(voltage))
+    growth = min(v / params.v0, 700.0)
+    gate_arg = (v - params.v_t0) / params.delta_v
+    if gate_arg > 30.0:
+        gate = 1.0
+    elif gate_arg < -700.0:
+        gate = 0.0
+    else:
+        gate = 1.0 / (1.0 + float(np.exp(-gate_arg)))
+    return float(np.exp(growth) / params.tau * gate)
+
+
+def switching_probability(
+    voltage: float,
+    duration: float,
+    params: DeviceParameters = PAPER_PARAMETERS,
+) -> float:
+    """Probability of at least one switching event in ``duration`` s.
+
+    ``p = 1 - exp(-rate(V) * duration)``
+    """
+    if duration < 0:
+        raise ConfigurationError("duration must be non-negative")
+    rate = switching_rate(voltage, params)
+    return float(-np.expm1(-rate * duration))
+
+
+class StochasticMemristor(Memristor):
+    """Memristor with probabilistic, abrupt filament switching.
+
+    The device is bistable: positive super-threshold bias can SET it
+    (HRS -> LRS), negative bias can RESET it (LRS -> HRS).  Each
+    exposure draws from the Poisson law above; successful events land
+    on a resistance with ``delta_r`` relative spread.
+    """
+
+    def __init__(
+        self,
+        params: DeviceParameters = PAPER_PARAMETERS,
+        x: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(params=params, x=x)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self._switch_count = 0
+
+    @property
+    def switch_count(self) -> int:
+        """Number of stochastic switching events so far."""
+        return self._switch_count
+
+    def _spread(self) -> float:
+        """Multiplicative cycle-to-cycle spread factor."""
+        return 1.0 + self.rng.uniform(
+            -self.params.delta_r, self.params.delta_r
+        )
+
+    def expose(self, voltage: float, duration: float) -> bool:
+        """Expose the device to ``voltage`` for ``duration`` seconds.
+
+        Returns ``True`` if a switching event occurred.  Positive
+        voltage SETs towards LRS, negative RESETs towards HRS; a bias
+        pushing the device towards the state it already occupies is a
+        no-op (no filament to form or rupture).
+        """
+        if duration < 0:
+            raise ConfigurationError("duration must be non-negative")
+        towards_lrs = voltage > 0
+        already_there = (towards_lrs and self.x > 0.5) or (
+            not towards_lrs and self.x <= 0.5
+        )
+        if already_there:
+            return False
+        p = switching_probability(voltage, duration, self.params)
+        if self.rng.random() >= p:
+            return False
+        self._switch_count += 1
+        p_dev = self.params
+        if towards_lrs:
+            target = float(np.clip(p_dev.r_on * self._spread(), p_dev.r_on, p_dev.r_off))
+        else:
+            target = float(np.clip(p_dev.r_off * self._spread(), p_dev.r_on, p_dev.r_off))
+        self.set_resistance(target)
+        return True
+
+
+def expected_disturb_probability(
+    compute_voltage: float,
+    compute_time: float,
+    n_devices: int,
+    params: DeviceParameters = PAPER_PARAMETERS,
+) -> float:
+    """Probability that *any* of ``n_devices`` flips during a compute.
+
+    This is the quantity behind the Section 4.2 robustness claim: with
+    compute voltages <= Vcc/4 = 0.25 V and ~ns compute times across
+    hundreds of runs, the probability is negligibly small.
+    """
+    p_single = switching_probability(compute_voltage, compute_time, params)
+    return float(-np.expm1(n_devices * np.log1p(-p_single)))

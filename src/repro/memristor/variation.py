@@ -1,0 +1,153 @@
+"""Process-variation models (Section 3.3(3) of the paper).
+
+As fabricated, memristor resistances deviate by +/-20 % to +/-30 % from
+nominal.  The paper mitigates this two ways:
+
+1. Only resistance *ratios* matter for solution quality, and matched
+   layout ("tolerance control", Hastings [11]) keeps the mismatch
+   between a *pair* of memristors below 1 % even when their common-mode
+   deviation is large.
+2. Post-fabrication resistance tuning (see :mod:`repro.memristor.tuning`)
+   trims the residual.
+
+:class:`VariationModel` draws correlated device deviations accordingly:
+a chip-level common-mode term, a pair-level matching term, and an
+independent device-level term.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .device import DeviceParameters, Memristor, PAPER_PARAMETERS
+
+
+@dataclasses.dataclass(frozen=True)
+class VariationModel:
+    """Correlated process-variation magnitudes (relative, 1-sigma-free
+    uniform bounds as the paper quotes tolerances).
+
+    Attributes
+    ----------
+    global_tolerance:
+        Chip-level common deviation bound (paper: 0.20-0.30).
+    matching_tolerance:
+        Residual mismatch between a matched pair after tolerance
+        control (paper: < 0.01).
+    device_tolerance:
+        Independent per-device deviation for unmatched devices.
+    """
+
+    global_tolerance: float = 0.25
+    matching_tolerance: float = 0.01
+    device_tolerance: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "global_tolerance",
+            "matching_tolerance",
+            "device_tolerance",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1)")
+
+    def sample_chip_factor(self, rng: np.random.Generator) -> float:
+        """Common-mode multiplicative factor for a whole chip."""
+        return 1.0 + rng.uniform(
+            -self.global_tolerance, self.global_tolerance
+        )
+
+    def sample_pair_ratio_error(self, rng: np.random.Generator) -> float:
+        """Multiplicative error on the *ratio* of a matched pair."""
+        return 1.0 + rng.uniform(
+            -self.matching_tolerance, self.matching_tolerance
+        )
+
+    def sample_device_factor(self, rng: np.random.Generator) -> float:
+        """Independent multiplicative factor for an unmatched device."""
+        return 1.0 + rng.uniform(
+            -self.device_tolerance, self.device_tolerance
+        )
+
+
+#: Variation magnitudes quoted in Section 3.3(3).
+PAPER_VARIATION = VariationModel()
+
+
+def perturb_resistance(
+    nominal: float,
+    model: VariationModel = PAPER_VARIATION,
+    rng: Optional[np.random.Generator] = None,
+    matched: bool = False,
+    chip_factor: Optional[float] = None,
+) -> float:
+    """Return a fabricated resistance for a device of ``nominal`` value.
+
+    Parameters
+    ----------
+    matched:
+        When ``True`` only the matching tolerance applies on top of the
+        shared ``chip_factor`` (layout-matched pair member).
+    chip_factor:
+        The common-mode factor shared by all devices on a chip; drawn
+        fresh when omitted.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if chip_factor is None:
+        chip_factor = model.sample_chip_factor(rng)
+    if matched:
+        local = model.sample_pair_ratio_error(rng)
+    else:
+        local = model.sample_device_factor(rng)
+    return nominal * chip_factor * local
+
+
+def fabricate_ratio_pair(
+    ratio: float,
+    params: DeviceParameters = PAPER_PARAMETERS,
+    model: VariationModel = PAPER_VARIATION,
+    rng: Optional[np.random.Generator] = None,
+    matched: bool = True,
+) -> "tuple[Memristor, Memristor, float]":
+    """Fabricate a ratio pair under process variation.
+
+    Returns ``(m1, m2, achieved_ratio)``.  With ``matched=True`` the
+    achieved ratio deviates from ``ratio`` by at most roughly the
+    matching tolerance; with ``matched=False`` by up to the full device
+    tolerance on each side — the ablation benchmark contrasts the two.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    if ratio <= 0:
+        raise ConfigurationError("ratio must be positive")
+    chip = model.sample_chip_factor(rng)
+    # Anchor the larger device below HRS with enough headroom that the
+    # worst-case chip/device deviation still fits the device range —
+    # otherwise clipping would silently break the matched ratio.
+    headroom = (1.0 + model.global_tolerance) * (
+        1.0 + max(model.matching_tolerance, model.device_tolerance)
+    )
+    anchor = params.r_off / headroom
+    if ratio >= 1.0:
+        nominal_r1 = anchor
+        nominal_r2 = anchor / ratio
+    else:
+        nominal_r2 = anchor
+        nominal_r1 = anchor * ratio
+    r1 = perturb_resistance(
+        nominal_r1, model, rng, matched=matched, chip_factor=chip
+    )
+    r2 = perturb_resistance(
+        nominal_r2, model, rng, matched=matched, chip_factor=chip
+    )
+    m1 = Memristor(params)
+    m2 = Memristor(params)
+    m1.set_resistance(float(np.clip(r1, params.r_on, params.r_off)))
+    m2.set_resistance(float(np.clip(r2, params.r_on, params.r_off)))
+    return m1, m2, m1.resistance / m2.resistance

@@ -1,0 +1,39 @@
+"""Time series data-mining tasks (classification, clustering,
+subsequence search, motif discovery) — the workloads the accelerator
+serves (Section 1 of the paper)."""
+
+from .clustering import (
+    ClusteringResult,
+    cluster_series,
+    k_medoids,
+    pairwise_distances,
+    rand_index,
+)
+from .knn import KnnClassifier, leave_one_out_accuracy
+from .motifs import Motif, discover_motifs
+from .streaming import (
+    RunningWindowStats,
+    StreamingSearchResult,
+    lb_keogh_early_abandon,
+    streaming_subsequence_search,
+)
+from .subsequence import SearchResult, sliding_windows, subsequence_search
+
+__all__ = [
+    "ClusteringResult",
+    "KnnClassifier",
+    "Motif",
+    "RunningWindowStats",
+    "SearchResult",
+    "StreamingSearchResult",
+    "cluster_series",
+    "discover_motifs",
+    "k_medoids",
+    "lb_keogh_early_abandon",
+    "leave_one_out_accuracy",
+    "pairwise_distances",
+    "rand_index",
+    "sliding_windows",
+    "streaming_subsequence_search",
+    "subsequence_search",
+]

@@ -1,0 +1,132 @@
+"""k-nearest-neighbour time series classification.
+
+The classic 1-NN + distance-function pipeline the paper's motivating
+applications use (vehicle classification with DTW [31], iris
+authentication with HamD [29]).  The classifier takes any callable with
+the library's shared distance signature, so the accelerator backend
+(:meth:`repro.accelerator.DistanceAccelerator.distance`) is a drop-in
+replacement for the software reference functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..distances.base import get_distance
+from ..errors import ConfigurationError, DatasetError
+from ..validation import as_sequence
+
+DistanceCallable = Callable[..., float]
+
+
+def _resolve_distance(distance) -> "tuple[DistanceCallable, bool]":
+    """Accept a name or a callable; return (fn, larger_is_similar)."""
+    if callable(distance):
+        return distance, False
+    info = get_distance(distance)
+    return info.fn, info.similarity
+
+
+@dataclasses.dataclass
+class KnnClassifier:
+    """k-NN classifier over a fitted set of labelled series.
+
+    Parameters
+    ----------
+    distance:
+        A registered distance name (``"dtw"``) or any callable
+        ``fn(p, q, **kwargs) -> float``.
+    k:
+        Neighbour count (1 reproduces the UCR evaluation protocol).
+    larger_is_similar:
+        Set for similarity scores (LCS); auto-detected for registered
+        names.
+    distance_kwargs:
+        Extra keyword arguments forwarded to every distance call
+        (threshold, band, ...).
+    """
+
+    distance: object = "dtw"
+    k: int = 1
+    larger_is_similar: Optional[bool] = None
+    distance_kwargs: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError("k must be >= 1")
+        fn, similarity = _resolve_distance(self.distance)
+        self._fn = fn
+        if self.larger_is_similar is None:
+            self.larger_is_similar = similarity
+        self._kwargs = dict(self.distance_kwargs or {})
+        self._x: List[np.ndarray] = []
+        self._y: Optional[np.ndarray] = None
+
+    def fit(self, x: Sequence, y) -> "KnnClassifier":
+        """Store the reference (training) series and labels."""
+        self._x = [as_sequence(s, f"x[{i}]") for i, s in enumerate(x)]
+        self._y = np.asarray(y)
+        if len(self._x) != self._y.shape[0]:
+            raise DatasetError("x and y lengths differ")
+        if not self._x:
+            raise DatasetError("training set is empty")
+        return self
+
+    def _scores(self, query: np.ndarray) -> np.ndarray:
+        scores = np.array(
+            [self._fn(query, ref, **self._kwargs) for ref in self._x]
+        )
+        return -scores if self.larger_is_similar else scores
+
+    def kneighbors(self, query) -> np.ndarray:
+        """Indices of the k nearest training instances."""
+        if self._y is None:
+            raise DatasetError("classifier is not fitted")
+        q = as_sequence(query, "query")
+        scores = self._scores(q)
+        return np.argsort(scores, kind="stable")[: self.k]
+
+    def predict_one(self, query) -> object:
+        """Majority label among the k nearest neighbours."""
+        idx = self.kneighbors(query)
+        labels, counts = np.unique(self._y[idx], return_counts=True)
+        return labels[int(np.argmax(counts))]
+
+    def predict(self, queries: Sequence) -> np.ndarray:
+        """Predict a label for each query series."""
+        return np.array([self.predict_one(q) for q in queries])
+
+    def score(self, queries: Sequence, labels) -> float:
+        """Classification accuracy on a labelled set."""
+        predictions = self.predict(queries)
+        truth = np.asarray(labels)
+        if truth.shape[0] != predictions.shape[0]:
+            raise DatasetError("labels length mismatch")
+        return float(np.mean(predictions == truth))
+
+
+def leave_one_out_accuracy(
+    x: Sequence,
+    y,
+    distance="dtw",
+    k: int = 1,
+    **distance_kwargs,
+) -> float:
+    """Leave-one-out 1-NN accuracy (the UCR benchmark protocol)."""
+    x_arrs = [as_sequence(s) for s in x]
+    y_arr = np.asarray(y)
+    if len(x_arrs) != y_arr.shape[0]:
+        raise DatasetError("x and y lengths differ")
+    correct = 0
+    for i in range(len(x_arrs)):
+        rest_x = x_arrs[:i] + x_arrs[i + 1 :]
+        rest_y = np.concatenate([y_arr[:i], y_arr[i + 1 :]])
+        clf = KnnClassifier(
+            distance=distance, k=k, distance_kwargs=distance_kwargs
+        ).fit(rest_x, rest_y)
+        if clf.predict_one(x_arrs[i]) == y_arr[i]:
+            correct += 1
+    return correct / len(x_arrs)

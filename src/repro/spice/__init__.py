@@ -1,0 +1,54 @@
+"""A small SPICE-class circuit simulator (MNA, DC Newton, BE transient).
+
+This package stands in for the paper's SPICE runs at the element level:
+op-amp macromodels with Table 1 parameters, near-ideal diodes, switches,
+memristors with Biolek drift, and the analog building blocks (subtractor,
+adder, diode-max, absolute value) the PEs are assembled from.
+"""
+
+from .ac import AcResult, ac_analysis, log_sweep
+from .analysis import (
+    Solution,
+    TransientResult,
+    dc_operating_point,
+    transient,
+)
+from .blocks import (
+    DEFAULT_R,
+    PARASITIC_CAPACITANCE,
+    add_parasitics,
+    build_absolute_value,
+    build_buffer,
+    build_diode_max,
+    build_inverting_amplifier,
+    build_subtractor,
+    build_summing_amplifier,
+)
+from .export import netlist_to_spice, write_spice_deck
+from .netlist import Circuit
+from .opamp import OpAmpParameters, PAPER_OPAMP, add_opamp
+
+__all__ = [
+    "AcResult",
+    "Circuit",
+    "DEFAULT_R",
+    "OpAmpParameters",
+    "PAPER_OPAMP",
+    "PARASITIC_CAPACITANCE",
+    "Solution",
+    "TransientResult",
+    "ac_analysis",
+    "add_opamp",
+    "add_parasitics",
+    "build_absolute_value",
+    "build_buffer",
+    "build_diode_max",
+    "build_inverting_amplifier",
+    "build_subtractor",
+    "build_summing_amplifier",
+    "dc_operating_point",
+    "log_sweep",
+    "netlist_to_spice",
+    "transient",
+    "write_spice_deck",
+]

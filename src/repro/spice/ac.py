@@ -1,0 +1,187 @@
+"""Small-signal AC analysis.
+
+Solves the complex MNA system ``(G + j w C) x = b`` over a frequency
+sweep, with every independent source treated as its phasor (AC
+magnitude = its DC value's sign convention is irrelevant for transfer
+functions; sources other than the designated input are zeroed).
+
+Used to verify the op-amp macromodel realises Table 1 — open-loop gain
+1e4 with a 5 MHz dominant pole, hence a 50 GHz gain-bandwidth product —
+and to measure closed-loop bandwidths of the PE building blocks, which
+is where the behavioural :class:`~repro.analog.TimingModel` constants
+come from.
+
+Limitations: diodes and comparators are linearised about 0 V bias is
+*not* attempted — AC analysis here is for linear(ised) circuits only
+(amplifier stages); circuits containing diodes/comparators are
+rejected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import NetlistError, SingularCircuitError
+from .mna import build_system
+from .netlist import Circuit
+
+
+@dataclasses.dataclass
+class AcResult:
+    """Complex node voltages across a frequency sweep."""
+
+    frequencies_hz: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.voltages[node])
+
+    def magnitude_db(self, node: str) -> np.ndarray:
+        return 20.0 * np.log10(
+            np.maximum(self.magnitude(node), 1e-300)
+        )
+
+    def phase_deg(self, node: str) -> np.ndarray:
+        return np.degrees(np.angle(self.voltages[node]))
+
+    def corner_frequency(self, node: str) -> float:
+        """-3 dB frequency relative to the lowest-frequency gain."""
+        mag = self.magnitude(node)
+        reference = mag[0]
+        below = np.nonzero(mag < reference / np.sqrt(2.0))[0]
+        if below.size == 0:
+            return float(self.frequencies_hz[-1])
+        k = int(below[0])
+        if k == 0:
+            return float(self.frequencies_hz[0])
+        # Log-interpolate the crossing.
+        f0, f1 = self.frequencies_hz[k - 1], self.frequencies_hz[k]
+        m0, m1 = mag[k - 1], mag[k]
+        target = reference / np.sqrt(2.0)
+        t = (np.log(m0) - np.log(target)) / (np.log(m0) - np.log(m1))
+        return float(f0 * (f1 / f0) ** t)
+
+    def unity_gain_frequency(self, node: str) -> float:
+        """Frequency where |gain| crosses 1 (input phasor = 1 V)."""
+        mag = self.magnitude(node)
+        below = np.nonzero(mag < 1.0)[0]
+        if below.size == 0 or below[0] == 0:
+            return float(self.frequencies_hz[-1])
+        k = int(below[0])
+        f0, f1 = self.frequencies_hz[k - 1], self.frequencies_hz[k]
+        m0, m1 = mag[k - 1], mag[k]
+        t = (np.log(m0) - 0.0) / (np.log(m0) - np.log(m1))
+        return float(f0 * (f1 / f0) ** t)
+
+
+def ac_analysis(
+    circuit: Circuit,
+    frequencies_hz,
+    input_source: str,
+    record: Optional[Sequence[str]] = None,
+) -> AcResult:
+    """Frequency sweep with a 1 V phasor on ``input_source``.
+
+    All other independent sources are AC-grounded (magnitude 0), the
+    standard small-signal convention.
+    """
+    if circuit.diodes or circuit.comparators:
+        raise NetlistError(
+            "AC analysis supports linear circuits only; linearise or "
+            "remove diodes/comparators first"
+        )
+    system = build_system(circuit)
+    n = system.size
+    if record is None:
+        record = list(circuit.nodes)
+    freqs = np.asarray(frequencies_hz, dtype=np.float64)
+    idx = circuit.node_index
+
+    # Frequency-independent real part (conductances + sources).
+    g = np.zeros((n, n))
+    c_mat = np.zeros((n, n))
+    b = np.zeros(n, dtype=np.complex128)
+
+    def stamp_g(matrix, i, j, value):
+        if i >= 0:
+            matrix[i, i] += value
+        if j >= 0:
+            matrix[j, j] += value
+        if i >= 0 and j >= 0:
+            matrix[i, j] -= value
+            matrix[j, i] -= value
+
+    for node_i in range(system.n_nodes):
+        g[node_i, node_i] += 1e-12
+    for r in circuit.resistors:
+        stamp_g(g, idx(r.n1), idx(r.n2), 1.0 / r.resistance)
+    for s in circuit.switches:
+        stamp_g(g, idx(s.n1), idx(s.n2), 1.0 / s.resistance)
+    for m in circuit.memristors:
+        stamp_g(g, idx(m.n1), idx(m.n2), m.device.conductance)
+    for cap in circuit.capacitors:
+        stamp_g(c_mat, idx(cap.n1), idx(cap.n2), cap.capacitance)
+
+    found_input = False
+    for k, src in enumerate(circuit.vsources):
+        row = system.vsrc_row(k)
+        i, j = idx(src.n_plus), idx(src.n_minus)
+        if i >= 0:
+            g[i, row] += 1.0
+            g[row, i] += 1.0
+        if j >= 0:
+            g[j, row] -= 1.0
+            g[row, j] -= 1.0
+        if src.name == input_source:
+            b[row] = 1.0
+            found_input = True
+    if not found_input:
+        raise NetlistError(
+            f"no voltage source named {input_source!r} to drive"
+        )
+    for k, e in enumerate(circuit.vcvs):
+        row = system.vcvs_row(k)
+        op, om = idx(e.out_plus), idx(e.out_minus)
+        cp, cm = idx(e.ctrl_plus), idx(e.ctrl_minus)
+        if op >= 0:
+            g[op, row] += 1.0
+            g[row, op] += 1.0
+        if om >= 0:
+            g[om, row] -= 1.0
+            g[row, om] -= 1.0
+        if cp >= 0:
+            g[row, cp] -= e.gain
+        if cm >= 0:
+            g[row, cm] += e.gain
+
+    waves = {
+        node: np.zeros(freqs.size, dtype=np.complex128)
+        for node in record
+    }
+    for k, f in enumerate(freqs):
+        a = g + 1j * 2.0 * np.pi * f * c_mat
+        try:
+            x = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(str(exc)) from exc
+        for node in record:
+            if circuit.is_ground(node):
+                continue
+            waves[node][k] = x[circuit._nodes[node]]
+    return AcResult(frequencies_hz=freqs, voltages=waves)
+
+
+def log_sweep(
+    f_start: float, f_stop: float, points_per_decade: int = 20
+) -> np.ndarray:
+    """Logarithmic frequency grid, SPICE ``.ac dec`` style."""
+    if f_start <= 0 or f_stop <= f_start:
+        raise NetlistError("need 0 < f_start < f_stop")
+    decades = np.log10(f_stop / f_start)
+    n = max(2, int(np.ceil(decades * points_per_decade)) + 1)
+    return np.logspace(
+        np.log10(f_start), np.log10(f_stop), n
+    )

@@ -1,0 +1,200 @@
+"""Circuit library: the analog building blocks of the paper's PEs.
+
+Every distance-function PE in Fig. 2 is wired from four primitives:
+
+* analog subtractor (difference amplifier, Fig. 4(a)),
+* analog adder (inverting summing amplifier, Fig. 4(b)),
+* diode maximum selector,
+* absolute-value block (two subtractors + two diodes).
+
+Each builder stamps the primitive into a :class:`Circuit` and returns
+the output node name.  Resistors default to memristor HRS (100 kOhm),
+the value the unweighted configurations program; pass explicit
+resistances to realise weighted variants per the Section 3.2 ratio
+rules.  The Table 1 parasitic capacitance (20 fF per net) is added by
+:func:`add_parasitics`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from .netlist import Circuit
+from .opamp import OpAmpParameters, PAPER_OPAMP, add_opamp
+
+#: Memristor high-resistance state, the default gain-setting resistance.
+DEFAULT_R = 100.0e3
+
+#: Table 1: parasitic capacitance added to each circuit net.
+PARASITIC_CAPACITANCE = 20.0e-15
+
+
+def add_parasitics(
+    circuit: Circuit, capacitance: float = PARASITIC_CAPACITANCE
+) -> int:
+    """Attach ``capacitance`` from every existing node to ground.
+
+    Returns the number of capacitors added.  Call once, after the
+    circuit is fully built, exactly as the paper's setup describes
+    ("a parasitic capacitance of 20fF is added to each circuit net").
+    """
+    count = 0
+    for node in list(circuit.nodes):
+        if node.endswith("_p1") or node.endswith("_p2"):
+            continue  # macromodel internals are not layout nets
+        circuit.add_capacitor(f"cpar_{node}", node, "0", capacitance)
+        count += 1
+    return count
+
+
+def build_inverting_amplifier(
+    circuit: Circuit,
+    name: str,
+    vin: str,
+    out: str,
+    r_in: float = DEFAULT_R,
+    r_fb: float = DEFAULT_R,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """Inverting amplifier: ``Vout = -(r_fb / r_in) Vin``."""
+    neg = f"{name}_neg"
+    circuit.add_resistor(f"{name}_rin", vin, neg, r_in)
+    circuit.add_resistor(f"{name}_rfb", neg, out, r_fb)
+    add_opamp(circuit, name, "0", neg, out, opamp)
+    return out
+
+
+def build_subtractor(
+    circuit: Circuit,
+    name: str,
+    v_plus: str,
+    v_minus: str,
+    out: str,
+    r1: float = DEFAULT_R,
+    r2: float = DEFAULT_R,
+    r3: float = DEFAULT_R,
+    r4: float = DEFAULT_R,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """Difference amplifier (Fig. 4(a)).
+
+    ``Vout = (r4/(r3+r4)) (1 + r2/r1) V(v_plus) - (r2/r1) V(v_minus)``
+
+    With all four resistances equal (both ratios 1, the unweighted
+    configuration) this is ``V(v_plus) - V(v_minus)``.  Weighted
+    configurations program the memristor ratios per Section 3.2.
+    """
+    neg = f"{name}_neg"
+    pos = f"{name}_pos"
+    circuit.add_resistor(f"{name}_r1", v_minus, neg, r1)
+    circuit.add_resistor(f"{name}_r2", neg, out, r2)
+    circuit.add_resistor(f"{name}_r3", v_plus, pos, r3)
+    circuit.add_resistor(f"{name}_r4", pos, "0", r4)
+    add_opamp(circuit, name, pos, neg, out, opamp)
+    return out
+
+
+def build_summing_amplifier(
+    circuit: Circuit,
+    name: str,
+    inputs: Sequence[str],
+    out: str,
+    input_resistances: Optional[Sequence[float]] = None,
+    r_fb: float = DEFAULT_R,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """Inverting summing amplifier (Fig. 4(b)).
+
+    ``Vout = -sum_i (r_fb / r_i) V_i``; the input weight is the
+    memristor ratio ``M0 / Mi`` as in the Fig. 1 row structure.
+    """
+    if not inputs:
+        raise ConfigurationError("summing amplifier needs inputs")
+    if input_resistances is None:
+        input_resistances = [DEFAULT_R] * len(inputs)
+    if len(input_resistances) != len(inputs):
+        raise ConfigurationError(
+            "one input resistance per input is required"
+        )
+    neg = f"{name}_neg"
+    for k, (node, r) in enumerate(zip(inputs, input_resistances)):
+        circuit.add_resistor(f"{name}_rin{k}", node, neg, r)
+    circuit.add_resistor(f"{name}_rfb", neg, out, r_fb)
+    add_opamp(circuit, name, "0", neg, out, opamp)
+    return out
+
+
+def build_diode_max(
+    circuit: Circuit,
+    name: str,
+    inputs: Sequence[str],
+    out: str,
+    pulldown_to: str = "0",
+    r_pulldown: float = 10.0e3,
+) -> str:
+    """Diode OR: ``Vout ~= max_i V_i`` for inputs above the pulldown rail.
+
+    One diode per input, anodes at the inputs, cathodes commoned on
+    ``out`` with a pulldown resistor.  Only the diode from the largest
+    input conducts; the others are reverse biased.  The selection error
+    is ~``r_on_diode / r_pulldown`` — with a 10 Ohm diode and 10 kOhm
+    pulldown, 0.1 %, consistent with the paper treating diodes as ideal
+    maximum selectors.
+    """
+    if not inputs:
+        raise ConfigurationError("diode max needs inputs")
+    for k, node in enumerate(inputs):
+        circuit.add_diode(f"{name}_d{k}", node, out)
+    circuit.add_resistor(f"{name}_rpd", out, pulldown_to, r_pulldown)
+    return out
+
+
+def build_buffer(
+    circuit: Circuit,
+    name: str,
+    vin: str,
+    out: str,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """Unity-gain buffer (the Fig. 2 'buffer' element)."""
+    add_opamp(circuit, name, vin, out, out, opamp)
+    return out
+
+
+def build_absolute_value(
+    circuit: Circuit,
+    name: str,
+    p: str,
+    q: str,
+    out: str,
+    weight: float = 1.0,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """Absolute-value block (the Fig. 2(a) 'absolution module').
+
+    Two subtractors compute ``w(P-Q)`` and ``w(Q-P)``; two diodes pass
+    the positive one: ``Vout ~= w |P - Q|``.  The weight is realised by
+    the Section 3.2.1 rule ``M1/M2 = (2 - w)/w`` applied to the
+    difference-amplifier ratios, i.e. gain ``w = 2 M2/(M1+M2)`` on both
+    legs.
+    """
+    if not 0.0 < weight < 2.0:
+        raise ConfigurationError(
+            "the M1/M2=(2-w)/w rule requires weight in (0, 2)"
+        )
+    # Difference amp with r2/r1 = r4/r3 = w gives Vout = w (V+ - V-).
+    r1 = DEFAULT_R
+    r2 = weight * DEFAULT_R
+    r3 = DEFAULT_R
+    r4 = weight * DEFAULT_R
+    pq = f"{name}_pq"
+    qp = f"{name}_qp"
+    build_subtractor(
+        circuit, f"{name}_s1", p, q, pq, r1, r2, r3, r4, opamp
+    )
+    build_subtractor(
+        circuit, f"{name}_s2", q, p, qp, r1, r2, r3, r4, opamp
+    )
+    build_diode_max(circuit, f"{name}_max", [pq, qp], out)
+    return out

@@ -1,0 +1,114 @@
+"""Export a :class:`~repro.spice.Circuit` as a standard SPICE deck.
+
+The paper's results come from SPICE; this emitter closes the loop the
+other way — any circuit built with this library (including the PE
+circuits) can be written out as a ``.cir`` netlist and re-simulated in
+ngspice/HSPICE for independent verification.  Behavioural elements map
+to standard primitives:
+
+* op-amp macromodels are already E-elements + RC internally;
+* near-ideal diodes emit a ``.model`` with near-zero emission
+  coefficient knee (N close to ideality floor) — a footnote comments
+  the intended piecewise behaviour;
+* comparators and voltage-controlled switches emit behavioural
+  B-sources / S-elements (ngspice dialect).
+
+Memristors are emitted at their *current* resistance as resistors plus
+a comment carrying the device state — transient drift is not exported
+(the compute circuits never move their memristors; Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .netlist import Circuit
+
+
+def _src_value(value) -> str:
+    if callable(value):
+        # Time-dependent sources export their t=0+ step level; decks
+        # needing the exact waveform should replace this line.
+        return f"DC {float(value(1e-30)):.6g}"
+    return f"DC {float(value):.6g}"
+
+
+def _node(name: str) -> str:
+    return "0" if Circuit.is_ground(name) else name
+
+
+def netlist_to_spice(circuit: Circuit, title: str = "") -> str:
+    """Render the circuit as an ngspice-compatible deck string."""
+    lines: List[str] = [f"* {title or circuit.title}"]
+
+    for r in circuit.resistors:
+        lines.append(
+            f"R{r.name} {_node(r.n1)} {_node(r.n2)} {r.resistance:.6g}"
+        )
+    for c in circuit.capacitors:
+        ic = f" IC={c.ic:.6g}" if c.ic else ""
+        lines.append(
+            f"C{c.name} {_node(c.n1)} {_node(c.n2)} "
+            f"{c.capacitance:.6g}{ic}"
+        )
+    for m in circuit.memristors:
+        lines.append(
+            f"R{m.name} {_node(m.n1)} {_node(m.n2)} "
+            f"{m.device.resistance:.6g}"
+            f" ; memristor x={m.device.x:.4f}"
+        )
+    for s in circuit.switches:
+        lines.append(
+            f"R{s.name} {_node(s.n1)} {_node(s.n2)} "
+            f"{s.resistance:.6g} ; TG "
+            f"{'closed' if s.closed else 'open'}"
+        )
+    for v in circuit.vsources:
+        lines.append(
+            f"V{v.name} {_node(v.n_plus)} {_node(v.n_minus)} "
+            f"{_src_value(v.value)}"
+        )
+    for i in circuit.isources:
+        lines.append(
+            f"I{i.name} {_node(i.n_plus)} {_node(i.n_minus)} "
+            f"{_src_value(i.value)}"
+        )
+    for e in circuit.vcvs:
+        lines.append(
+            f"E{e.name} {_node(e.out_plus)} {_node(e.out_minus)} "
+            f"{_node(e.ctrl_plus)} {_node(e.ctrl_minus)} {e.gain:.6g}"
+        )
+    if circuit.diodes:
+        lines.append(
+            ".model dideal D(IS=1e-12 N=0.05) "
+            "; near-0V-threshold diode (Table 1)"
+        )
+        for d in circuit.diodes:
+            lines.append(
+                f"D{d.name} {_node(d.anode)} {_node(d.cathode)} dideal"
+            )
+    for cmp_el in circuit.comparators:
+        lines.append(
+            f"B{cmp_el.name} {_node(cmp_el.out)} 0 "
+            f"V={cmp_el.v_low:.6g}+({cmp_el.v_high - cmp_el.v_low:.6g})"
+            f"/(1+exp(-(V({_node(cmp_el.in_plus)})"
+            f"-V({_node(cmp_el.in_minus)}))/{cmp_el.v_smooth:.6g}))"
+        )
+    if circuit.vswitches:
+        lines.append(
+            ".model tgsw SW(VT=0.5 VH=0.05 RON=100 ROFF=1e9)"
+        )
+        for sw in circuit.vswitches:
+            lines.append(
+                f"S{sw.name} {_node(sw.n1)} {_node(sw.n2)} "
+                f"{_node(sw.ctrl)} 0 tgsw"
+            )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_spice_deck(circuit: Circuit, path, title: str = "") -> None:
+    """Write the deck to ``path``."""
+    from pathlib import Path
+
+    Path(path).write_text(netlist_to_spice(circuit, title))

@@ -1,0 +1,304 @@
+"""Modified nodal analysis: assembly and Newton solution.
+
+The unknown vector is ``[node voltages | V-source currents | VCVS
+currents]``.  Linear elements are stamped once; diodes are re-linearised
+each Newton iteration with a companion model.  A ``gmin`` conductance
+from every node to ground keeps floating nodes solvable, mirroring what
+production SPICE engines do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError, SingularCircuitError
+from .netlist import Circuit, Comparator, Diode
+
+#: Output conductance of the behavioural comparator stage (1 kOhm).
+COMPARATOR_G_OUT = 1.0e-3
+
+#: Minimum conductance to ground at every node (SPICE GMIN).
+GMIN = 1.0e-12
+
+
+def _waveform_value(value, t: float) -> float:
+    """Evaluate a constant-or-callable source at time ``t``."""
+    if callable(value):
+        return float(value(t))
+    return float(value)
+
+
+def _diode_current(diode: Diode, v: float) -> float:
+    """Smoothed piecewise-linear diode current.
+
+    ``I(V) = g_off V + (g_on - g_off) v_s softplus(V / v_s)``
+
+    tends to ``g_on V`` for strong forward bias and ``g_off V`` for
+    reverse bias, with a smooth C1 transition of width ``v_s``.
+    """
+    gd = diode.g_on - diode.g_off
+    x = v / diode.v_smooth
+    if x > 30.0:
+        soft = x
+    elif x < -30.0:
+        soft = 0.0
+    else:
+        soft = float(np.log1p(np.exp(x)))
+    return diode.g_off * v + gd * diode.v_smooth * soft
+
+
+def _diode_conductance(diode: Diode, v: float) -> float:
+    """``dI/dV`` of the smoothed diode model."""
+    gd = diode.g_on - diode.g_off
+    x = v / diode.v_smooth
+    if x > 30.0:
+        sig = 1.0
+    elif x < -30.0:
+        sig = 0.0
+    else:
+        sig = 1.0 / (1.0 + float(np.exp(-x)))
+    return diode.g_off + gd * sig
+
+
+def _comparator_transfer(cmp: Comparator, vd: float) -> "tuple[float, float]":
+    """``(f(vd), df/dvd)`` of the saturating comparator transfer."""
+    x = vd / cmp.v_smooth
+    if x > 30.0:
+        sig, dsig = 1.0, 0.0
+    elif x < -30.0:
+        sig, dsig = 0.0, 0.0
+    else:
+        sig = 1.0 / (1.0 + float(np.exp(-x)))
+        dsig = sig * (1.0 - sig)
+    span = cmp.v_high - cmp.v_low
+    return cmp.v_low + span * sig, span * dsig / cmp.v_smooth
+
+
+@dataclasses.dataclass
+class MnaSystem:
+    """Assembled structural data reused across solves."""
+
+    circuit: Circuit
+    n_nodes: int
+    n_vsrc: int
+    n_vcvs: int
+
+    @property
+    def size(self) -> int:
+        return self.n_nodes + self.n_vsrc + self.n_vcvs
+
+    def vsrc_row(self, k: int) -> int:
+        return self.n_nodes + k
+
+    def vcvs_row(self, k: int) -> int:
+        return self.n_nodes + self.n_vsrc + k
+
+
+def build_system(circuit: Circuit) -> MnaSystem:
+    """Freeze the circuit dimensions into an :class:`MnaSystem`."""
+    return MnaSystem(
+        circuit=circuit,
+        n_nodes=circuit.num_nodes,
+        n_vsrc=len(circuit.vsources),
+        n_vcvs=len(circuit.vcvs),
+    )
+
+
+def _stamp_conductance(
+    g_matrix: np.ndarray, i: int, j: int, g: float
+) -> None:
+    """Stamp a conductance between node indices (-1 = ground)."""
+    if i >= 0:
+        g_matrix[i, i] += g
+    if j >= 0:
+        g_matrix[j, j] += g
+    if i >= 0 and j >= 0:
+        g_matrix[i, j] -= g
+        g_matrix[j, i] -= g
+
+
+def assemble_linear(
+    system: MnaSystem,
+    t: float = 0.0,
+    dt: Optional[float] = None,
+    cap_state: Optional[Dict[str, float]] = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Assemble the linear MNA matrix and RHS at time ``t``.
+
+    ``dt``/``cap_state`` enable the backward-Euler companion model for
+    capacitors: ``cap_state[name]`` is the capacitor voltage at the
+    previous timestep.  With ``dt=None`` capacitors are open (DC).
+    """
+    ckt = system.circuit
+    n = system.size
+    a = np.zeros((n, n))
+    b = np.zeros(n)
+    idx = ckt.node_index
+
+    for node_i in range(system.n_nodes):
+        a[node_i, node_i] += GMIN
+
+    for r in ckt.resistors:
+        _stamp_conductance(a, idx(r.n1), idx(r.n2), 1.0 / r.resistance)
+    for s in ckt.switches:
+        _stamp_conductance(a, idx(s.n1), idx(s.n2), 1.0 / s.resistance)
+    for m in ckt.memristors:
+        _stamp_conductance(
+            a, idx(m.n1), idx(m.n2), m.device.conductance
+        )
+
+    if dt is not None:
+        for c in ckt.capacitors:
+            g_eq = c.capacitance / dt
+            v_prev = (
+                cap_state.get(c.name, c.ic) if cap_state is not None else c.ic
+            )
+            i_eq = g_eq * v_prev
+            i, j = idx(c.n1), idx(c.n2)
+            _stamp_conductance(a, i, j, g_eq)
+            if i >= 0:
+                b[i] += i_eq
+            if j >= 0:
+                b[j] -= i_eq
+
+    for k, src in enumerate(ckt.isources):
+        value = _waveform_value(src.value, t)
+        i, j = idx(src.n_plus), idx(src.n_minus)
+        if i >= 0:
+            b[i] -= value
+        if j >= 0:
+            b[j] += value
+
+    for k, src in enumerate(ckt.vsources):
+        row = system.vsrc_row(k)
+        i, j = idx(src.n_plus), idx(src.n_minus)
+        if i >= 0:
+            a[i, row] += 1.0
+            a[row, i] += 1.0
+        if j >= 0:
+            a[j, row] -= 1.0
+            a[row, j] -= 1.0
+        b[row] = _waveform_value(src.value, t)
+
+    for k, e in enumerate(ckt.vcvs):
+        row = system.vcvs_row(k)
+        op, om = idx(e.out_plus), idx(e.out_minus)
+        cp, cm = idx(e.ctrl_plus), idx(e.ctrl_minus)
+        if op >= 0:
+            a[op, row] += 1.0
+            a[row, op] += 1.0
+        if om >= 0:
+            a[om, row] -= 1.0
+            a[row, om] -= 1.0
+        if cp >= 0:
+            a[row, cp] -= e.gain
+        if cm >= 0:
+            a[row, cm] += e.gain
+
+    return a, b
+
+
+def solve_nonlinear(
+    system: MnaSystem,
+    a_lin: np.ndarray,
+    b_lin: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    max_iterations: int = 200,
+    tolerance: float = 1.0e-9,
+    max_step: float = 1.0,
+) -> np.ndarray:
+    """Newton iteration over the diode companion models.
+
+    ``a_lin``/``b_lin`` hold every linear stamp; each iteration adds the
+    linearised diodes and solves.  Voltage updates are clamped to
+    ``max_step`` volts for robustness (source-stepping-free damping,
+    adequate for the sub-volt circuits in this library).
+    """
+    ckt = system.circuit
+    idx = ckt.node_index
+    x = x0.copy() if x0 is not None else np.zeros(system.size)
+
+    if not ckt.diodes and not ckt.comparators and not ckt.vswitches:
+        try:
+            return np.linalg.solve(a_lin, b_lin)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(str(exc)) from exc
+
+    for _ in range(max_iterations):
+        a = a_lin.copy()
+        b = b_lin.copy()
+        for cmp_el in ckt.comparators:
+            o = idx(cmp_el.out)
+            ip, im = idx(cmp_el.in_plus), idx(cmp_el.in_minus)
+            vp = x[ip] if ip >= 0 else 0.0
+            vm = x[im] if im >= 0 else 0.0
+            vd = vp - vm
+            f0, df = _comparator_transfer(cmp_el, vd)
+            g = COMPARATOR_G_OUT
+            if o >= 0:
+                a[o, o] += g
+                b[o] += g * (f0 - df * vd)
+                if ip >= 0:
+                    a[o, ip] -= g * df
+                if im >= 0:
+                    a[o, im] += g * df
+        for sw in ckt.vswitches:
+            i, j = idx(sw.n1), idx(sw.n2)
+            c = idx(sw.ctrl)
+            v1 = x[i] if i >= 0 else 0.0
+            v2 = x[j] if j >= 0 else 0.0
+            vc = x[c] if c >= 0 else 0.0
+            arg = (vc - sw.v_mid) / sw.v_smooth
+            if arg > 30.0:
+                sig, dsig = 1.0, 0.0
+            elif arg < -30.0:
+                sig, dsig = 0.0, 0.0
+            else:
+                sig = 1.0 / (1.0 + float(np.exp(-arg)))
+                dsig = sig * (1.0 - sig)
+            g_sw = sw.g_off + (sw.g_on - sw.g_off) * sig
+            dg_dvc = (sw.g_on - sw.g_off) * dsig / sw.v_smooth
+            vd = v1 - v2
+            # I = g(vc) * (v1 - v2); linearise in (v1, v2, vc).
+            _stamp_conductance(a, i, j, g_sw)
+            coupling = dg_dvc * vd
+            i_eq = -coupling * vc
+            if i >= 0:
+                if c >= 0:
+                    a[i, c] += coupling
+                b[i] -= i_eq
+            if j >= 0:
+                if c >= 0:
+                    a[j, c] -= coupling
+                b[j] += i_eq
+        for d in ckt.diodes:
+            i, j = idx(d.anode), idx(d.cathode)
+            vi = x[i] if i >= 0 else 0.0
+            vj = x[j] if j >= 0 else 0.0
+            v = vi - vj
+            g = _diode_conductance(d, v)
+            i_d = _diode_current(d, v)
+            i_eq = i_d - g * v
+            _stamp_conductance(a, i, j, g)
+            if i >= 0:
+                b[i] -= i_eq
+            if j >= 0:
+                b[j] += i_eq
+        try:
+            x_new = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise SingularCircuitError(str(exc)) from exc
+        delta = x_new - x
+        step = float(np.max(np.abs(delta))) if delta.size else 0.0
+        if step > max_step:
+            delta *= max_step / step
+        x = x + delta
+        if step <= tolerance:
+            return x
+    raise ConvergenceError(
+        f"Newton did not converge in {max_iterations} iterations "
+        f"(last step {step:.3e})"
+    )

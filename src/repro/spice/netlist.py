@@ -1,0 +1,357 @@
+"""Netlist representation for the MNA circuit simulator.
+
+A :class:`Circuit` is a bag of two-terminal and controlled elements
+connected at named nodes.  Node ``"0"`` (alias ``"gnd"``) is ground.
+Elements are plain dataclass records; the solvers in
+:mod:`repro.spice.dc` and :mod:`repro.spice.transient` interpret them.
+
+The element set is the minimum the paper's circuits need: resistors,
+capacitors, independent V/I sources, voltage-controlled voltage sources
+(op-amp macromodels are built from these), near-ideal diodes
+(Table 1: threshold 0 V), switches (transmission gates), and memristors
+(resistors with Biolek state dynamics during transient analysis).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Union
+
+from ..errors import NetlistError
+from ..memristor.biolek import BiolekMemristor
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+#: A source value: a constant or a function of time (seconds).
+Waveform = Union[float, Callable[[float], float]]
+
+
+@dataclasses.dataclass
+class Resistor:
+    name: str
+    n1: str
+    n2: str
+    resistance: float
+
+
+@dataclasses.dataclass
+class Capacitor:
+    name: str
+    n1: str
+    n2: str
+    capacitance: float
+    ic: float = 0.0
+
+
+@dataclasses.dataclass
+class VoltageSource:
+    name: str
+    n_plus: str
+    n_minus: str
+    value: Waveform
+
+
+@dataclasses.dataclass
+class CurrentSource:
+    name: str
+    n_plus: str
+    n_minus: str
+    value: Waveform
+
+
+@dataclasses.dataclass
+class VCVS:
+    """E-element: ``V(out+, out-) = gain * V(ctrl+, ctrl-)``."""
+
+    name: str
+    out_plus: str
+    out_minus: str
+    ctrl_plus: str
+    ctrl_minus: str
+    gain: float
+
+
+@dataclasses.dataclass
+class Diode:
+    """Near-ideal diode (piecewise-linear, smoothed for Newton).
+
+    ``g_on`` conducts for forward bias, ``g_off`` leaks for reverse;
+    the transition is smoothed over ``v_smooth`` volts.  Table 1 sets
+    the threshold to 0 V, so no built-in junction drop is modelled.
+    """
+
+    name: str
+    anode: str
+    cathode: str
+    g_on: float = 1.0e-1
+    g_off: float = 1.0e-9
+    v_smooth: float = 1.0e-4
+
+
+@dataclasses.dataclass
+class Comparator:
+    """Behavioural comparator: a saturating differential stage.
+
+    ``V(out) = v_low + (v_high - v_low) * sigmoid((V+ - V-) / v_smooth)``
+
+    realised as a nonlinear VCVS.  The smoothing width keeps Newton
+    well-behaved; 1 mV is far below any decision margin in the PEs.
+    """
+
+    name: str
+    out: str
+    in_plus: str
+    in_minus: str
+    v_high: float = 1.0
+    v_low: float = 0.0
+    v_smooth: float = 1.0e-3
+
+
+@dataclasses.dataclass
+class Switch:
+    """Transmission gate: a resistor toggled by a boolean state."""
+
+    name: str
+    n1: str
+    n2: str
+    closed: bool = True
+    r_on: float = 100.0
+    r_off: float = 1.0e9
+
+    @property
+    def resistance(self) -> float:
+        return self.r_on if self.closed else self.r_off
+
+
+@dataclasses.dataclass
+class VSwitch:
+    """Voltage-controlled transmission gate.
+
+    Conducts between ``n1`` and ``n2`` with conductance interpolating
+    smoothly between ``g_off`` and ``g_on`` as ``V(ctrl)`` crosses
+    ``v_mid``:
+
+    ``g(Vc) = g_off + (g_on - g_off) * sigmoid((Vc - v_mid)/v_smooth)``
+    """
+
+    name: str
+    n1: str
+    n2: str
+    ctrl: str
+    v_mid: float = 0.5
+    v_smooth: float = 0.02
+    g_on: float = 1.0e-2
+    g_off: float = 1.0e-9
+
+
+@dataclasses.dataclass
+class MemristorElement:
+    """A memristor placed in a circuit; state drifts during transient."""
+
+    name: str
+    n1: str
+    n2: str
+    device: BiolekMemristor
+
+
+class Circuit:
+    """A mutable netlist with uniqueness and connectivity checks."""
+
+    def __init__(self, title: str = "circuit") -> None:
+        self.title = title
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.vsources: List[VoltageSource] = []
+        self.isources: List[CurrentSource] = []
+        self.vcvs: List[VCVS] = []
+        self.diodes: List[Diode] = []
+        self.switches: List[Switch] = []
+        self.memristors: List[MemristorElement] = []
+        self.comparators: List[Comparator] = []
+        self.vswitches: List[VSwitch] = []
+        self._names: Dict[str, str] = {}
+        self._nodes: Dict[str, int] = {}
+
+    # -- node management -------------------------------------------------
+    @staticmethod
+    def is_ground(node: str) -> bool:
+        """True for any accepted spelling of the ground node."""
+        return node in GROUND_NAMES
+
+    def node_index(self, node: str) -> int:
+        """Index of a node in the MNA unknown vector; -1 for ground."""
+        if self.is_ground(node):
+            return -1
+        if node not in self._nodes:
+            self._nodes[node] = len(self._nodes)
+        return self._nodes[node]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Non-ground node names in index order."""
+        return sorted(self._nodes, key=self._nodes.get)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # -- registration ----------------------------------------------------
+    def _register(self, name: str, kind: str, *nodes: str) -> None:
+        if name in self._names:
+            raise NetlistError(
+                f"duplicate element name {name!r} "
+                f"({self._names[name]} vs {kind})"
+            )
+        self._names[name] = kind
+        for node in nodes:
+            self.node_index(node)
+
+    def add_resistor(
+        self, name: str, n1: str, n2: str, resistance: float
+    ) -> Resistor:
+        if resistance <= 0:
+            raise NetlistError(f"resistor {name!r} must be positive")
+        self._register(name, "R", n1, n2)
+        element = Resistor(name, n1, n2, float(resistance))
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(
+        self, name: str, n1: str, n2: str, capacitance: float, ic: float = 0.0
+    ) -> Capacitor:
+        if capacitance <= 0:
+            raise NetlistError(f"capacitor {name!r} must be positive")
+        self._register(name, "C", n1, n2)
+        element = Capacitor(name, n1, n2, float(capacitance), float(ic))
+        self.capacitors.append(element)
+        return element
+
+    def add_vsource(
+        self, name: str, n_plus: str, n_minus: str, value: Waveform
+    ) -> VoltageSource:
+        self._register(name, "V", n_plus, n_minus)
+        element = VoltageSource(name, n_plus, n_minus, value)
+        self.vsources.append(element)
+        return element
+
+    def add_isource(
+        self, name: str, n_plus: str, n_minus: str, value: Waveform
+    ) -> CurrentSource:
+        self._register(name, "I", n_plus, n_minus)
+        element = CurrentSource(name, n_plus, n_minus, value)
+        self.isources.append(element)
+        return element
+
+    def add_vcvs(
+        self,
+        name: str,
+        out_plus: str,
+        out_minus: str,
+        ctrl_plus: str,
+        ctrl_minus: str,
+        gain: float,
+    ) -> VCVS:
+        self._register(name, "E", out_plus, out_minus, ctrl_plus, ctrl_minus)
+        element = VCVS(
+            name, out_plus, out_minus, ctrl_plus, ctrl_minus, float(gain)
+        )
+        self.vcvs.append(element)
+        return element
+
+    def add_diode(
+        self,
+        name: str,
+        anode: str,
+        cathode: str,
+        g_on: float = 1.0e-1,
+        g_off: float = 1.0e-9,
+    ) -> Diode:
+        self._register(name, "D", anode, cathode)
+        element = Diode(name, anode, cathode, g_on, g_off)
+        self.diodes.append(element)
+        return element
+
+    def add_comparator(
+        self,
+        name: str,
+        out: str,
+        in_plus: str,
+        in_minus: str,
+        v_high: float = 1.0,
+        v_low: float = 0.0,
+        v_smooth: float = 1.0e-3,
+    ) -> Comparator:
+        self._register(name, "CMP", out, in_plus, in_minus)
+        element = Comparator(
+            name, out, in_plus, in_minus, v_high, v_low, v_smooth
+        )
+        self.comparators.append(element)
+        return element
+
+    def add_switch(
+        self,
+        name: str,
+        n1: str,
+        n2: str,
+        closed: bool = True,
+        r_on: float = 100.0,
+        r_off: float = 1.0e9,
+    ) -> Switch:
+        self._register(name, "S", n1, n2)
+        element = Switch(name, n1, n2, closed, r_on, r_off)
+        self.switches.append(element)
+        return element
+
+    def add_vswitch(
+        self,
+        name: str,
+        n1: str,
+        n2: str,
+        ctrl: str,
+        v_mid: float = 0.5,
+        v_smooth: float = 0.02,
+        g_on: float = 1.0e-2,
+        g_off: float = 1.0e-9,
+    ) -> VSwitch:
+        self._register(name, "VSW", n1, n2, ctrl)
+        element = VSwitch(
+            name, n1, n2, ctrl, v_mid, v_smooth, g_on, g_off
+        )
+        self.vswitches.append(element)
+        return element
+
+    def add_memristor(
+        self,
+        name: str,
+        n1: str,
+        n2: str,
+        device: Optional[BiolekMemristor] = None,
+        resistance: Optional[float] = None,
+    ) -> MemristorElement:
+        """Place a memristor; either pass a device or a target resistance."""
+        self._register(name, "M", n1, n2)
+        if device is None:
+            device = BiolekMemristor()
+            if resistance is not None:
+                device.set_resistance(resistance)
+        element = MemristorElement(name, n1, n2, device)
+        self.memristors.append(element)
+        return element
+
+    # -- introspection ---------------------------------------------------
+    def vsource_index(self, name: str) -> int:
+        """Index of a V source among branch-current unknowns."""
+        for i, src in enumerate(self.vsources):
+            if src.name == name:
+                return i
+        raise NetlistError(f"no voltage source named {name!r}")
+
+    def summary(self) -> str:
+        """Human-readable one-line inventory."""
+        return (
+            f"{self.title}: {self.num_nodes} nodes, "
+            f"{len(self.resistors)}R {len(self.capacitors)}C "
+            f"{len(self.vsources)}V {len(self.isources)}I "
+            f"{len(self.vcvs)}E {len(self.diodes)}D "
+            f"{len(self.switches)}S {len(self.memristors)}M"
+        )

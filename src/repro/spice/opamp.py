@@ -1,0 +1,106 @@
+"""Behavioural op-amp macromodel (Table 1 of the paper).
+
+The macromodel is the classic single-pole three-stage structure:
+
+1. A VCVS of gain ``A0`` senses the differential input.
+2. An internal R-C sets the dominant pole at ``f_p = GBW / A0``
+   (Table 1: A0 = 1e4, GBW = 50 GHz  =>  f_p = 5 MHz, unity-gain
+   time constant ``A0 / (2 pi GBW) ~ 31.8 ps``).
+3. A unity-gain VCVS isolates the output.
+
+An optional input offset voltage models the "zero drift" the paper
+blames for the larger DTW/EdD relative errors in Fig. 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .netlist import Circuit
+
+
+@dataclasses.dataclass(frozen=True)
+class OpAmpParameters:
+    """Op-amp macromodel parameters (defaults = Table 1).
+
+    Attributes
+    ----------
+    open_loop_gain:
+        DC open-loop gain A0 (Table 1: 1e4).
+    gbw_hz:
+        Gain-bandwidth product in Hz (Table 1: 50 GHz).
+    input_offset:
+        Systematic input-referred offset voltage in volts.
+    internal_resistance:
+        R of the internal pole (arbitrary as long as R*C is right).
+    """
+
+    open_loop_gain: float = 1.0e4
+    gbw_hz: float = 50.0e9
+    input_offset: float = 0.0
+    internal_resistance: float = 1.0e3
+
+    def __post_init__(self) -> None:
+        if self.open_loop_gain <= 1:
+            raise ConfigurationError("open-loop gain must exceed 1")
+        if self.gbw_hz <= 0:
+            raise ConfigurationError("GBW must be positive")
+
+    @property
+    def pole_frequency_hz(self) -> float:
+        """Dominant pole ``f_p = GBW / A0``."""
+        return self.gbw_hz / self.open_loop_gain
+
+    @property
+    def unity_gain_tau(self) -> float:
+        """Settling time constant at unity noise gain,
+        ``tau = 1 / (2 pi GBW)`` scaled by noise gain downstream."""
+        return 1.0 / (2.0 * np.pi * self.gbw_hz)
+
+    @property
+    def internal_capacitance(self) -> float:
+        """C of the internal pole: ``1 / (2 pi f_p R)``."""
+        return 1.0 / (
+            2.0 * np.pi * self.pole_frequency_hz * self.internal_resistance
+        )
+
+
+#: Table 1 of the paper, verbatim.
+PAPER_OPAMP = OpAmpParameters()
+
+
+def add_opamp(
+    circuit: Circuit,
+    name: str,
+    in_plus: str,
+    in_minus: str,
+    out: str,
+    params: OpAmpParameters = PAPER_OPAMP,
+) -> None:
+    """Instantiate the macromodel into ``circuit``.
+
+    Creates two internal nodes ``{name}_p1`` (pre-pole) and offsets via
+    a series source when ``params.input_offset`` is non-zero.
+    """
+    plus_node = in_plus
+    if params.input_offset != 0.0:
+        plus_node = f"{name}_osn"
+        circuit.add_vsource(
+            f"{name}_vos", plus_node, in_plus, params.input_offset
+        )
+    pre = f"{name}_p1"
+    circuit.add_vcvs(
+        f"{name}_gain", pre, "0", plus_node, in_minus,
+        params.open_loop_gain,
+    )
+    pole = f"{name}_p2"
+    circuit.add_resistor(
+        f"{name}_rp", pre, pole, params.internal_resistance
+    )
+    circuit.add_capacitor(
+        f"{name}_cp", pole, "0", params.internal_capacitance
+    )
+    circuit.add_vcvs(f"{name}_buf", out, "0", pole, "0", 1.0)

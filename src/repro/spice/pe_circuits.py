@@ -1,0 +1,333 @@
+"""Element-level PE circuits (Fig. 2 of the paper) in the SPICE engine.
+
+These are single processing elements built transistor-free but
+element-faithful: op-amp macromodels, near-ideal diodes, behavioural
+comparators and memristor-valued resistors, wired exactly as the
+paper's schematics describe.  They serve as the ground truth the
+behavioural :mod:`repro.analog` blocks are validated against, and they
+reproduce the Eq. (8) minimum-module trick in actual circuitry.
+
+Two selecting-module variants are provided: :func:`build_lcs_pe`
+configures the transmission gates statically from a precomputed
+decision (useful for isolating the computing paths), while
+:func:`build_lcs_pe_live` closes the loop — the comparator output
+drives voltage-controlled transmission gates exactly as Fig. 2(b)
+draws it.  Full arrays are still simulated behaviourally — the paper
+itself reports 20 SPICE-hours for one n = 40 DTW run, which is exactly
+the cost this split avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .blocks import (
+    DEFAULT_R,
+    build_absolute_value,
+    build_diode_max,
+    build_subtractor,
+)
+from .netlist import Circuit
+from .opamp import OpAmpParameters, PAPER_OPAMP
+
+#: Supply voltage of Table 1.
+VCC = 1.0
+
+
+def _rail(circuit: Circuit, name: str, value: float) -> str:
+    """A reference rail node driven by an ideal source."""
+    circuit.add_vsource(f"v_{name}", name, "0", value)
+    return name
+
+
+def build_dtw_pe(
+    circuit: Circuit,
+    name: str,
+    p: str,
+    q: str,
+    d_neighbours: Sequence[str],
+    out: str,
+    weight: float = 1.0,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """One DTW PE (Fig. 2(a)): ``D = w|P - Q| + min(neighbours)``.
+
+    The minimum module implements Eq. (8): each neighbour ``D_k`` is
+    complemented to ``Vcc/2 - D_k`` by a subtractor, the diodes select
+    the maximum of the complements, and the output stage computes
+    ``w|P - Q| - (max - Vcc/2) = w|P - Q| + min_k D_k``.
+    """
+    if len(d_neighbours) != 3:
+        raise ConfigurationError("DTW PE needs exactly 3 neighbours")
+    half = _rail(circuit, f"{name}_vcc2", VCC / 2.0)
+
+    abs_node = f"{name}_abs"
+    build_absolute_value(
+        circuit, f"{name}_a", p, q, abs_node, weight=weight, opamp=opamp
+    )
+
+    complements = []
+    for k, d_k in enumerate(d_neighbours):
+        comp = f"{name}_c{k}"
+        build_subtractor(
+            circuit, f"{name}_s{k}", half, d_k, comp, opamp=opamp
+        )
+        complements.append(comp)
+    max_node = f"{name}_max"
+    build_diode_max(circuit, f"{name}_m", complements, max_node)
+
+    # out = abs - (max - Vcc/2), staged as two subtractors.
+    shifted = f"{name}_shift"
+    build_subtractor(
+        circuit, f"{name}_s3", max_node, half, shifted, opamp=opamp
+    )
+    build_subtractor(
+        circuit, f"{name}_s4", abs_node, shifted, out, opamp=opamp
+    )
+    return out
+
+
+def build_comparator_stage(
+    circuit: Circuit,
+    name: str,
+    p: str,
+    q: str,
+    out: str,
+    v_threshold: float,
+    v_high: float = VCC,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """The Fig. 2(b/c/e) decision stage: ``|P-Q|`` vs a threshold rail.
+
+    Output is ``v_high`` when the elements *differ* beyond the
+    threshold (Eq. (6) semantics) and 0 when they match.
+    """
+    abs_node = f"{name}_abs"
+    build_absolute_value(
+        circuit, f"{name}_a", p, q, abs_node, opamp=opamp
+    )
+    thr = _rail(circuit, f"{name}_vthr", v_threshold)
+    circuit.add_comparator(
+        f"{name}_cmp", out, abs_node, thr, v_high=v_high, v_low=0.0
+    )
+    return out
+
+
+def build_hamming_pe(
+    circuit: Circuit,
+    name: str,
+    p: str,
+    q: str,
+    out: str,
+    v_threshold: float,
+    v_step: float,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """One HamD PE (Fig. 2(e)): ``Ham[i] = Vstep`` iff ``|P-Q| > Vthre``."""
+    return build_comparator_stage(
+        circuit, name, p, q, out, v_threshold, v_high=v_step, opamp=opamp
+    )
+
+
+def build_manhattan_pe(
+    circuit: Circuit,
+    name: str,
+    p: str,
+    q: str,
+    out: str,
+    weight: float = 1.0,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """One MD PE (Fig. 2(f)): the absolution module, ``w|P - Q|``."""
+    return build_absolute_value(
+        circuit, f"{name}_a", p, q, out, weight=weight, opamp=opamp
+    )
+
+
+def build_lcs_pe(
+    circuit: Circuit,
+    name: str,
+    l_diag: str,
+    l_left: str,
+    l_up: str,
+    out: str,
+    v_step: float,
+    match: bool,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """One LCS PE computing module (Fig. 2(b)) with the transmission
+    gates configured by the ``match`` decision.
+
+    ``match=True`` routes ``L_diag + Vstep`` to the output;
+    ``match=False`` routes ``max(L_left, L_up)``.  Both paths are
+    built (as in the hardware); the TGs select.
+    """
+    step = _rail(circuit, f"{name}_vstep", v_step)
+    # Computing path 1: L_diag + Vstep via two inverting stages
+    # (summing amplifier then unity inverter restores the sign).
+    inv = f"{name}_inv"
+    from .blocks import build_inverting_amplifier, build_summing_amplifier
+
+    build_summing_amplifier(
+        circuit, f"{name}_sum", [l_diag, step], inv, opamp=opamp
+    )
+    added = f"{name}_add"
+    build_inverting_amplifier(
+        circuit, f"{name}_i", inv, added, opamp=opamp
+    )
+    # Computing path 2: diode max of the two DP neighbours.
+    max_node = f"{name}_max"
+    build_diode_max(circuit, f"{name}_m", [l_left, l_up], max_node)
+    # Transmission gates: exactly one conducts.
+    circuit.add_switch(f"{name}_tg1", added, out, closed=match)
+    circuit.add_switch(f"{name}_tg2", max_node, out, closed=not match)
+    circuit.add_resistor(f"{name}_rload", out, "0", 1.0e8)
+    return out
+
+
+def build_lcs_pe_live(
+    circuit: Circuit,
+    name: str,
+    p: str,
+    q: str,
+    l_diag: str,
+    l_left: str,
+    l_up: str,
+    out: str,
+    v_threshold: float,
+    v_step: float,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """One complete LCS PE (Fig. 2(b)) with a *live* selecting module.
+
+    The comparator decides ``|P - Q|`` vs the threshold rail and its
+    output (plus a complementary comparator) drives two
+    voltage-controlled transmission gates, steering either
+    ``L_diag + Vstep`` or ``max(L_left, L_up)`` to the output — no
+    precomputed decision anywhere in the circuit.
+    """
+    # Decision: |P - Q| vs threshold, plus the complement.
+    abs_node = f"{name}_abs"
+    build_absolute_value(
+        circuit, f"{name}_a", p, q, abs_node, opamp=opamp
+    )
+    thr = _rail(circuit, f"{name}_vthr", v_threshold)
+    sel_far = f"{name}_sel_far"
+    sel_close = f"{name}_sel_close"
+    circuit.add_comparator(
+        f"{name}_cmp1", sel_far, abs_node, thr, v_high=VCC
+    )
+    circuit.add_comparator(
+        f"{name}_cmp2", sel_close, thr, abs_node, v_high=VCC
+    )
+
+    # Computing paths (identical to the static variant).
+    from .blocks import build_inverting_amplifier, build_summing_amplifier
+
+    step = _rail(circuit, f"{name}_vstep", v_step)
+    inv = f"{name}_inv"
+    build_summing_amplifier(
+        circuit, f"{name}_sum", [l_diag, step], inv, opamp=opamp
+    )
+    added = f"{name}_add"
+    build_inverting_amplifier(
+        circuit, f"{name}_i", inv, added, opamp=opamp
+    )
+    max_node = f"{name}_max"
+    build_diode_max(circuit, f"{name}_m", [l_left, l_up], max_node)
+
+    # Live transmission gates steered by the comparators.
+    circuit.add_vswitch(f"{name}_tg1", added, out, sel_close)
+    circuit.add_vswitch(f"{name}_tg2", max_node, out, sel_far)
+    circuit.add_resistor(f"{name}_rload", out, "0", 1.0e8)
+    return out
+
+
+def build_edit_pe_live(
+    circuit: Circuit,
+    name: str,
+    p: str,
+    q: str,
+    e_diag: str,
+    e_left: str,
+    e_up: str,
+    out: str,
+    v_threshold: float,
+    v_step: float,
+    opamp: OpAmpParameters = PAPER_OPAMP,
+) -> str:
+    """One complete EdD PE (Fig. 2(c)) with a live selecting module.
+
+    Three computing paths — ``E_left + Vstep`` (delete), ``E_up +
+    Vstep`` (insert), and a comparator-steered diagonal (``E_diag``
+    on a match, ``E_diag + Vstep`` on a mismatch; standard semantics,
+    see the Eq. (4) erratum note in :mod:`repro.distances.edit`) —
+    feed the Eq. (8) minimum module: per-path ``Vcc/2 - x``
+    complements, a diode max, and an output subtractor restoring
+    ``min``.  The Section 3.2.3 buffer sits between the diode stage
+    and the output subtractor so the result may fall below ``Vcc/2``.
+    """
+    from .blocks import (
+        build_buffer,
+        build_inverting_amplifier,
+        build_summing_amplifier,
+    )
+
+    half = _rail(circuit, f"{name}_vcc2", VCC / 2.0)
+    step = _rail(circuit, f"{name}_vstep", v_step)
+
+    # Decision comparators on |P - Q| vs the threshold rail.
+    abs_node = f"{name}_abs"
+    build_absolute_value(
+        circuit, f"{name}_a", p, q, abs_node, opamp=opamp
+    )
+    thr = _rail(circuit, f"{name}_vthr", v_threshold)
+    sel_far = f"{name}_sel_far"
+    sel_close = f"{name}_sel_close"
+    circuit.add_comparator(
+        f"{name}_cmp1", sel_far, abs_node, thr, v_high=VCC
+    )
+    circuit.add_comparator(
+        f"{name}_cmp2", sel_close, thr, abs_node, v_high=VCC
+    )
+
+    def add_step(tag: str, source: str) -> str:
+        """``source + Vstep`` via summing amplifier + inverter."""
+        inverted = f"{name}_{tag}_inv"
+        build_summing_amplifier(
+            circuit, f"{name}_{tag}_sum", [source, step], inverted,
+            opamp=opamp,
+        )
+        result = f"{name}_{tag}_add"
+        build_inverting_amplifier(
+            circuit, f"{name}_{tag}_i", inverted, result, opamp=opamp
+        )
+        return result
+
+    delete_path = add_step("del", e_left)
+    insert_path = add_step("ins", e_up)
+    substitute = add_step("sub", e_diag)
+
+    # Diagonal path steered by the live transmission gates.
+    diag = f"{name}_diag"
+    circuit.add_vswitch(f"{name}_tg1", e_diag, diag, sel_close)
+    circuit.add_vswitch(f"{name}_tg2", substitute, diag, sel_far)
+    circuit.add_resistor(f"{name}_rdiag", diag, "0", 1.0e8)
+
+    # Eq. (8) minimum module over the three paths.
+    complements = []
+    for k, path in enumerate((delete_path, insert_path, diag)):
+        comp = f"{name}_c{k}"
+        build_subtractor(
+            circuit, f"{name}_s{k}", half, path, comp, opamp=opamp
+        )
+        complements.append(comp)
+    max_node = f"{name}_max"
+    build_diode_max(circuit, f"{name}_m", complements, max_node)
+    buffered = f"{name}_buf"
+    build_buffer(circuit, f"{name}_b", max_node, buffered, opamp=opamp)
+    build_subtractor(
+        circuit, f"{name}_sout", half, buffered, out, opamp=opamp
+    )
+    return out

@@ -1,0 +1,112 @@
+"""Tests for accelerator parameters and DAC/ADC models."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorParameters,
+    AdcArray,
+    ConverterSpec,
+    DacArray,
+    PAPER_ADC,
+    PAPER_DAC,
+    PAPER_PARAMS,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParameters:
+    def test_table1_values(self):
+        assert PAPER_PARAMS.vcc == 1.0
+        assert PAPER_PARAMS.voltage_resolution == pytest.approx(20e-3)
+        assert PAPER_PARAMS.v_step == pytest.approx(10e-3)
+        assert PAPER_PARAMS.array_rows == 128
+        assert PAPER_PARAMS.band_fraction == 0.05
+        assert PAPER_PARAMS.convergence_tolerance == 1e-3
+
+    def test_paper_encoding_examples(self):
+        # Section 4.1: 1 -> 20 mV, 1.2 -> 24 mV, -0.5 -> -10 mV.
+        volts = PAPER_PARAMS.encode([1.0, 1.2, -0.5])
+        np.testing.assert_allclose(volts, [0.020, 0.024, -0.010])
+
+    def test_decode_roundtrip(self):
+        assert PAPER_PARAMS.decode(
+            PAPER_PARAMS.encode([1.7])[0]
+        ) == pytest.approx(1.7)
+
+    def test_decode_steps(self):
+        assert PAPER_PARAMS.decode_steps(0.05) == pytest.approx(5.0)
+
+    def test_infinity_rail_is_vcc(self):
+        assert PAPER_PARAMS.infinity_rail == PAPER_PARAMS.vcc
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorParameters(vcc=-1.0)
+        with pytest.raises(ConfigurationError):
+            AcceleratorParameters(array_rows=0)
+        with pytest.raises(ConfigurationError):
+            AcceleratorParameters(band_fraction=1.5)
+
+
+class TestConverterSpec:
+    def test_paper_dac_spec(self):
+        assert PAPER_DAC.bits == 8
+        assert PAPER_DAC.sample_rate_hz == pytest.approx(1.6e9)
+        assert PAPER_DAC.power_w == pytest.approx(32e-3)
+        assert PAPER_DAC.lsb == pytest.approx(1e-3)
+
+    def test_paper_adc_spec(self):
+        assert PAPER_ADC.bits == 8
+        assert PAPER_ADC.sample_rate_hz == pytest.approx(8.8e9)
+        assert PAPER_ADC.power_w == pytest.approx(35e-3)
+        assert not PAPER_ADC.bipolar
+
+    def test_quantise_on_grid(self):
+        out = PAPER_DAC.quantise([0.0203])
+        assert out[0] == pytest.approx(0.020)
+
+    def test_quantise_clips_at_full_scale(self):
+        out = PAPER_DAC.quantise([1.0, -1.0])
+        assert out[0] <= PAPER_DAC.full_scale
+        assert out[1] >= -PAPER_DAC.full_scale
+
+    def test_unipolar_adc_clips_negative(self):
+        out = PAPER_ADC.quantise([-0.1])
+        assert out[0] == 0.0
+
+    def test_quantisation_error_bounded_by_lsb(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-0.1, 0.1, 100)
+        out = PAPER_DAC.quantise(values)
+        assert np.max(np.abs(out - values)) <= PAPER_DAC.lsb / 2 + 1e-12
+
+    def test_conversion_time(self):
+        # 16 samples through 8 lanes at 1.6 GS/s: 2 sample periods.
+        t = PAPER_DAC.conversion_time(16, n_converters=8)
+        assert t == pytest.approx(2 / 1.6e9)
+
+    def test_power_for_throughput_continuous_scaling(self):
+        # The paper's own DTW arithmetic: 6.5 GS/s -> 0.13 W.
+        p = PAPER_DAC.power_for_throughput(6.5e9)
+        assert p == pytest.approx(0.13, rel=0.01)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConverterSpec(bits=0, sample_rate_hz=1e9, power_w=1e-3, full_scale=1.0)
+
+
+class TestArrays:
+    def test_dac_array_quantises(self):
+        dac = DacArray()
+        out = dac.convert([0.0207, -0.0101])
+        np.testing.assert_allclose(out, [0.021, -0.010], atol=1e-9)
+
+    def test_adc_read_time_scales_with_lanes(self):
+        fast = AdcArray(lanes=16)
+        slow = AdcArray(lanes=1)
+        assert fast.read_time(16) < slow.read_time(16)
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DacArray(lanes=0)

@@ -1,0 +1,104 @@
+"""Tests for the Section 4.3 power/energy model."""
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorParameters,
+    CALIBRATED_OPAMPS_PER_PE,
+    EXISTING_WORK_POWER_W,
+    PAPER_REPORTED_POWER_W,
+    accelerator_power,
+    active_pe_count,
+    energy_efficiency_improvement,
+    energy_per_computation,
+)
+from repro.errors import ConfigurationError
+
+
+class TestActivePeCount:
+    def test_dtw_band_formula(self):
+        # R(2n - R) with R = 0.05 * 128 = 6.4 -> 1597.44 cells.
+        assert active_pe_count("dtw", 128) == pytest.approx(1597.44)
+
+    def test_full_matrix_functions(self):
+        assert active_pe_count("lcs", 128) == 128 * 128
+        assert active_pe_count("edit", 64) == 64 * 64
+
+    def test_row_functions_batch_parallel(self):
+        assert active_pe_count("hamming", 128) == 128 * 128
+        assert active_pe_count("manhattan", 64) == 64 * 128
+
+    def test_band_fraction_parameterised(self):
+        params = AcceleratorParameters(band_fraction=0.1)
+        r = 12.8
+        assert active_pe_count("dtw", 128, params) == pytest.approx(
+            r * (256 - r)
+        )
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            active_pe_count("dtw", 0)
+
+
+class TestSection43:
+    def test_dtw_breakdown_matches_paper(self):
+        power = accelerator_power("dtw")
+        assert power.opamp_w == pytest.approx(0.20, abs=0.01)
+        assert power.dac_w == pytest.approx(0.13, abs=0.005)
+        assert power.adc_w == pytest.approx(0.026, abs=0.002)
+        assert power.memristor_w == pytest.approx(0.22, abs=0.01)
+        assert power.total_w == pytest.approx(0.58, abs=0.01)
+
+    @pytest.mark.parametrize(
+        "function", list(PAPER_REPORTED_POWER_W)
+    )
+    def test_calibrated_totals_match_paper(self, function):
+        total = accelerator_power(function, calibrated=True).total_w
+        assert total == pytest.approx(
+            PAPER_REPORTED_POWER_W[function], rel=0.02
+        )
+
+    @pytest.mark.parametrize(
+        "function", list(PAPER_REPORTED_POWER_W)
+    )
+    def test_circuit_derived_totals_same_order(self, function):
+        # The integer Fig. 2 counts should land within ~2x of the
+        # calibrated totals — a sanity bound on the calibration.
+        total = accelerator_power(function, calibrated=False).total_w
+        assert (
+            PAPER_REPORTED_POWER_W[function] / 2.5
+            < total
+            < PAPER_REPORTED_POWER_W[function] * 2.5
+        )
+
+    def test_edd_is_most_power_hungry(self):
+        totals = {
+            f: accelerator_power(f).total_w
+            for f in PAPER_REPORTED_POWER_W
+        }
+        assert max(totals, key=totals.get) == "edit"
+        assert min(totals, key=totals.get) == "dtw"
+
+
+class TestEnergyEfficiency:
+    def test_dtw_matches_paper_lower_bound(self):
+        # 3.5x speedup at 4.76 W vs 0.58 W ~ 28.7x, the paper's ~26.7x.
+        improvement = energy_efficiency_improvement("dtw", 3.5)
+        assert improvement == pytest.approx(28.7, rel=0.05)
+
+    def test_all_functions_at_least_an_order_of_magnitude(self):
+        for function in EXISTING_WORK_POWER_W:
+            improvement = energy_efficiency_improvement(function, 10.0)
+            assert improvement > 10.0
+
+    def test_invalid_speedup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            energy_efficiency_improvement("dtw", 0.0)
+
+    def test_energy_per_computation(self):
+        energy = energy_per_computation("dtw", latency_s=100e-9)
+        assert energy == pytest.approx(0.58 * 100e-9, rel=0.02)
+
+    def test_energy_rejects_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            energy_per_computation("dtw", latency_s=0.0)

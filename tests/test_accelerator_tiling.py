@@ -1,0 +1,146 @@
+"""Tiling tests: workloads exceeding the PE array (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro import distances as sw
+from repro.accelerator import (
+    AcceleratorParameters,
+    DistanceAccelerator,
+    Tile,
+    plan_matrix_tiles,
+    plan_row_segments,
+    tile_count,
+)
+from repro.analog import IDEAL
+from repro.errors import CapacityError
+
+
+class TestPlanning:
+    def test_single_tile_when_fits(self):
+        tiles = plan_matrix_tiles(4, 4, 8, 8)
+        assert len(tiles) == 1
+        assert tiles[0] == Tile(1, 4, 1, 4)
+
+    def test_grid_coverage_exact(self):
+        tiles = plan_matrix_tiles(10, 7, 4, 3)
+        covered = set()
+        for t in tiles:
+            for i in range(t.row_start, t.row_end + 1):
+                for j in range(t.col_start, t.col_end + 1):
+                    assert (i, j) not in covered  # no overlap
+                    covered.add((i, j))
+        assert covered == {
+            (i, j) for i in range(1, 11) for j in range(1, 8)
+        }
+
+    def test_row_major_order_respects_dependencies(self):
+        tiles = plan_matrix_tiles(8, 8, 4, 4)
+        seen = []
+        for t in tiles:
+            # All north/west neighbours must already be complete.
+            for prior in seen:
+                assert not (
+                    prior.row_start > t.row_start
+                    and prior.col_start >= t.col_start
+                )
+            seen.append(t)
+
+    def test_row_segments(self):
+        assert plan_row_segments(10, 4) == [(1, 4), (5, 8), (9, 10)]
+
+    def test_tile_count(self):
+        assert tile_count(10, 7, 4, 3) == 9
+        assert tile_count(128, 128, 128, 128) == 1
+
+
+class TestTiledMatrixDP:
+    @pytest.mark.parametrize("function", ["dtw", "lcs", "edit"])
+    def test_tiled_matches_software(
+        self, tiny_array_accelerator, rng, function
+    ):
+        p, q = rng.normal(size=10), rng.normal(size=10)
+        kw = (
+            {"threshold": 0.5}
+            if function in ("lcs", "edit")
+            else {}
+        )
+        hw = tiny_array_accelerator.compute(function, p, q, **kw)
+        assert hw.tiles == 9  # ceil(10/4)^2
+        assert hw.value == pytest.approx(
+            getattr(sw, function)(p, q, **kw), abs=1e-7
+        )
+
+    def test_tiled_matches_untiled_hardware(self, rng):
+        p, q = rng.normal(size=9), rng.normal(size=9)
+        small = DistanceAccelerator(
+            params=AcceleratorParameters(array_rows=4, array_cols=4),
+            nonideality=IDEAL,
+            quantise_io=False,
+        )
+        big = DistanceAccelerator(
+            nonideality=IDEAL, quantise_io=False
+        )
+        tiled = small.compute("dtw", p, q)
+        untiled = big.compute("dtw", p, q)
+        assert tiled.tiles > 1 and untiled.tiles == 1
+        assert tiled.value == pytest.approx(untiled.value, abs=1e-8)
+
+    def test_unequal_lengths_tiled(self, tiny_array_accelerator, rng):
+        p, q = rng.normal(size=9), rng.normal(size=6)
+        hw = tiny_array_accelerator.compute("edit", p, q, threshold=0.5)
+        assert hw.value == pytest.approx(
+            sw.edit(p, q, threshold=0.5), abs=1e-7
+        )
+
+    def test_banded_dtw_with_tiling_rejected(
+        self, tiny_array_accelerator, rng
+    ):
+        p, q = rng.normal(size=10), rng.normal(size=10)
+        with pytest.raises(CapacityError):
+            tiny_array_accelerator.compute("dtw", p, q, band=2)
+
+    def test_tiled_timing_accumulates(self, rng):
+        p, q = rng.normal(size=10), rng.normal(size=10)
+        small = DistanceAccelerator(
+            params=AcceleratorParameters(array_rows=4, array_cols=4),
+            nonideality=IDEAL,
+            quantise_io=False,
+        )
+        hw = small.compute("dtw", p, q, measure_time=True)
+        assert hw.convergence_time_s > 0
+        assert hw.total_time_s > hw.convergence_time_s
+
+
+class TestTiledHausdorff:
+    def test_tiled_matches_software(self, tiny_array_accelerator, rng):
+        p, q = rng.normal(size=11), rng.normal(size=9)
+        hw = tiny_array_accelerator.compute("hausdorff", p, q)
+        assert hw.tiles == 9
+        assert hw.value == pytest.approx(
+            sw.hausdorff(p, q), abs=1e-7
+        )
+
+
+class TestTiledRow:
+    @pytest.mark.parametrize("function", ["hamming", "manhattan"])
+    def test_segmented_matches_software(
+        self, tiny_array_accelerator, rng, function
+    ):
+        p, q = rng.normal(size=15), rng.normal(size=15)
+        kw = {"threshold": 0.5} if function == "hamming" else {}
+        hw = tiny_array_accelerator.compute(function, p, q, **kw)
+        assert hw.tiles == 4  # ceil(15/4)
+        assert hw.value == pytest.approx(
+            getattr(sw, function)(p, q, **kw), abs=1e-7
+        )
+
+    def test_quantised_tiling_error_bounded(self, rng):
+        # With converters in the loop each tile boundary crossing costs
+        # at most one ADC LSB; the total stays small.
+        params = AcceleratorParameters(array_rows=4, array_cols=4)
+        acc = DistanceAccelerator(params=params)
+        p, q = rng.normal(size=12), rng.normal(size=12)
+        hw = acc.compute("manhattan", p, q)
+        reference = sw.manhattan(p, q)
+        assert abs(hw.value - reference) < 0.5

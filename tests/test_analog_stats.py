@@ -1,0 +1,75 @@
+"""Tests for FrozenGraph.stats and related introspection."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import DistanceAccelerator, PAPER_PARAMS
+from repro.accelerator.pe import build_dtw_graph, build_manhattan_graph
+from repro.analog import BlockGraph, IDEAL
+
+
+def ideal_graph():
+    return BlockGraph(nonideality=IDEAL)
+
+
+class TestStats:
+    def test_counts_by_kind(self):
+        g = ideal_graph()
+        a, b = g.const(0.1), g.const(0.2)
+        g.absdiff(a, b)
+        g.maximum([a, b])
+        g.minimum([a, b])
+        stats = g.freeze().stats()
+        assert stats["const"] == 2
+        assert stats["absdiff"] == 1
+        assert stats["max"] == 1
+        assert stats["min"] == 1
+        assert stats["total"] == 5
+
+    def test_depth_of_chain(self):
+        g = ideal_graph()
+        node = g.const(0.1)
+        for _ in range(7):
+            node = g.buffer(node)
+        assert g.freeze().stats()["depth"] == 7
+
+    def test_depth_of_parallel_structure_is_shallow(self):
+        g = ideal_graph()
+        inputs = [g.const(0.01 * k) for k in range(10)]
+        rails = [g.absdiff(inputs[0], x) for x in inputs]
+        g.lin([(r, 1.0) for r in rails], is_adder=True)
+        assert g.freeze().stats()["depth"] == 2
+
+    def test_dtw_depth_scales_with_length(self):
+        def dtw_depth(n: int) -> int:
+            g = ideal_graph()
+            p = [g.const(0.0) for _ in range(n)]
+            q = [g.const(0.01) for _ in range(n)]
+            build_dtw_graph(g, p, q, np.ones((n, n)), PAPER_PARAMS)
+            return g.freeze().stats()["depth"]
+
+        # The DP lattice's critical path visits 2n - 1 cells, each
+        # contributing a min stage and an add stage: depth = 2(2n - 1).
+        d4, d8 = dtw_depth(4), dtw_depth(8)
+        assert d4 == 2 * (2 * 4 - 1)
+        assert d8 == 2 * (2 * 8 - 1)
+
+    def test_md_depth_constant_in_length(self):
+        def md_depth(n: int) -> int:
+            g = ideal_graph()
+            p = [g.const(0.0) for _ in range(n)]
+            q = [g.const(0.01) for _ in range(n)]
+            build_manhattan_graph(g, p, q, np.ones(n), PAPER_PARAMS)
+            return g.freeze().stats()["depth"]
+
+        assert md_depth(4) == md_depth(16)  # abs stage + adder
+
+    def test_accelerator_reports_block_count(self, rng):
+        chip = DistanceAccelerator(
+            nonideality=IDEAL, quantise_io=False
+        )
+        result = chip.compute(
+            "manhattan", rng.normal(size=6), rng.normal(size=6)
+        )
+        # 12 const + 6 absdiff + 1 adder.
+        assert result.n_blocks == 19

@@ -1,0 +1,106 @@
+"""Tests for the CPU and literature baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CALIBRATED_OURS_PER_ELEMENT_S,
+    EXISTING_WORKS,
+    get_existing_work,
+    measure_cpu_time,
+    modelled_cpu_time,
+    operation_count,
+    speedup_vs_existing,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOperationCount:
+    def test_quadratic_functions(self):
+        assert operation_count("dtw", 10) == 100
+        assert operation_count("edit", 4, 6) == 24
+
+    def test_linear_functions(self):
+        assert operation_count("hamming", 10) == 10
+        assert operation_count("manhattan", 7) == 7
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            operation_count("cosine", 10)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            operation_count("dtw", 0)
+
+
+class TestCpuModel:
+    def test_quadratic_scaling(self):
+        t10 = modelled_cpu_time("dtw", 10)
+        t40 = modelled_cpu_time("dtw", 40)
+        # Overhead-dominated at n=10, so ratio < 16 but > 4.
+        assert 2.0 < t40 / t10 < 16.0
+
+    def test_linear_functions_cheaper(self):
+        assert modelled_cpu_time("manhattan", 40) < modelled_cpu_time(
+            "dtw", 40
+        )
+
+    def test_magnitude_sane(self):
+        # A 40x40 DP on a 3.2 GHz core: ~1.6 us.
+        t = modelled_cpu_time("dtw", 40)
+        assert 0.5e-6 < t < 10e-6
+
+    def test_measurement_runs(self, rng):
+        p, q = rng.normal(size=20), rng.normal(size=20)
+        m = measure_cpu_time("dtw", p, q, repeats=2)
+        assert m.measured_s > 0
+        assert m.modelled_s > 0
+        assert m.n == 20
+
+    def test_measurement_unknown_function(self, rng):
+        with pytest.raises(ConfigurationError):
+            measure_cpu_time("cosine", [1.0], [1.0])
+
+
+class TestLiteratureModels:
+    def test_all_six_functions_modelled(self):
+        assert set(EXISTING_WORKS) == {
+            "dtw",
+            "lcs",
+            "edit",
+            "hausdorff",
+            "hamming",
+            "manhattan",
+        }
+
+    def test_dtw_is_fpga_others_gpu(self):
+        assert get_existing_work("dtw").platform == "FPGA"
+        for name in ("lcs", "edit", "hausdorff", "hamming", "manhattan"):
+            assert get_existing_work(name).platform == "GPU"
+
+    def test_derivations_recorded(self):
+        for work in EXISTING_WORKS.values():
+            assert "x" in work.derivation  # documents the multiplier
+
+    def test_power_matches_section_43(self):
+        assert get_existing_work("dtw").power_w == pytest.approx(4.76)
+        assert get_existing_work("lcs").power_w == pytest.approx(240.0)
+
+    def test_speedup_band_from_calibration(self):
+        # Using the recorded calibration latencies, the speedups must
+        # span the paper's 3.5x-376x band.
+        speedups = {
+            f: speedup_vs_existing(
+                f, CALIBRATED_OURS_PER_ELEMENT_S[f]
+            )
+            for f in EXISTING_WORKS
+        }
+        assert min(speedups.values()) == pytest.approx(3.5, rel=0.05)
+        assert max(speedups.values()) == pytest.approx(376, rel=0.05)
+        # LCS and HamD are the paper's called-out fastest.
+        top_two = sorted(speedups, key=speedups.get)[-2:]
+        assert set(top_two) == {"lcs", "hamming"}
+
+    def test_speedup_rejects_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            speedup_vs_existing("dtw", 0.0)

@@ -1,0 +1,132 @@
+"""Tests for the synthetic UCR-style datasets and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    UCR_SPECS,
+    evaluation_lengths,
+    formalise,
+    list_datasets,
+    load_dataset,
+    resample,
+    sample_pairs,
+    z_normalise,
+)
+from repro.errors import DatasetError
+
+
+class TestSpecs:
+    def test_paper_datasets_present(self):
+        assert list_datasets() == ["Beef", "OSULeaf", "Symbols"]
+
+    def test_ucr_shapes(self):
+        # Class counts / lengths follow the real UCR datasets.
+        assert UCR_SPECS["Beef"].n_classes == 5
+        assert UCR_SPECS["Beef"].length == 470
+        assert UCR_SPECS["Symbols"].n_classes == 6
+        assert UCR_SPECS["Symbols"].length == 398
+        assert UCR_SPECS["OSULeaf"].n_classes == 6
+        assert UCR_SPECS["OSULeaf"].length == 427
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = load_dataset("Beef")
+        b = load_dataset("Beef")
+        np.testing.assert_array_equal(a.train_x, b.train_x)
+        np.testing.assert_array_equal(a.test_y, b.test_y)
+
+    def test_shapes_match_spec(self):
+        data = load_dataset("Symbols")
+        spec = UCR_SPECS["Symbols"]
+        assert data.train_x.shape == (spec.train_size, spec.length)
+        assert data.test_x.shape == (spec.test_size, spec.length)
+        assert data.n_classes == spec.n_classes
+
+    def test_all_classes_represented(self):
+        data = load_dataset("OSULeaf")
+        assert set(np.unique(data.train_y)) == set(range(6))
+
+    def test_instances_of(self):
+        data = load_dataset("Beef")
+        zeros = data.instances_of(0, split="train")
+        assert zeros.shape[0] == np.sum(data.train_y == 0)
+
+    def test_instances_of_bad_split(self):
+        data = load_dataset("Beef")
+        with pytest.raises(DatasetError):
+            data.instances_of(0, split="validation")
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            load_dataset("GunPoint")
+
+    def test_classes_are_separable(self):
+        # Same-class pairs must be closer (on average, MD) than
+        # different-class pairs — otherwise the surrogate is useless.
+        from repro.distances import manhattan
+
+        data = load_dataset("Symbols")
+        same, diff = [], []
+        for p, q, is_same in sample_pairs(
+            data, 64, seed=0, n_pairs=10
+        ):
+            (same if is_same else diff).append(manhattan(p, q))
+        assert np.mean(same) < np.mean(diff)
+
+
+class TestPreprocessing:
+    def test_z_normalise_moments(self):
+        rng = np.random.default_rng(0)
+        out = z_normalise(rng.normal(3.0, 2.0, 100))
+        assert np.mean(out) == pytest.approx(0.0, abs=1e-12)
+        assert np.std(out) == pytest.approx(1.0, abs=1e-12)
+
+    def test_z_normalise_constant_series(self):
+        out = z_normalise([5.0, 5.0, 5.0])
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_resample_endpoints_preserved(self):
+        series = np.array([1.0, 5.0, 2.0, 8.0])
+        out = resample(series, 9)
+        assert out[0] == 1.0
+        assert out[-1] == 8.0
+        assert out.shape == (9,)
+
+    def test_resample_identity(self):
+        series = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(resample(series, 3), series)
+
+    def test_resample_bad_length(self):
+        with pytest.raises(DatasetError):
+            resample([1.0, 2.0], 0)
+
+    def test_formalise_length_and_moments(self):
+        data = load_dataset("Beef")
+        out = formalise(data.train_x[0], 40)
+        assert out.shape == (40,)
+        assert np.mean(out) == pytest.approx(0.0, abs=1e-12)
+
+    def test_evaluation_lengths_default(self):
+        assert evaluation_lengths() == [5, 10, 15, 20, 25, 30, 35, 40]
+
+    def test_sample_pairs_structure(self):
+        data = load_dataset("OSULeaf")
+        pairs = sample_pairs(data, 20, seed=1, n_pairs=3)
+        assert len(pairs) == 6
+        flags = [s for _, _, s in pairs]
+        assert flags == [True, False] * 3
+        for p, q, _ in pairs:
+            assert p.shape == (20,) and q.shape == (20,)
+
+    def test_sample_pairs_deterministic(self):
+        data = load_dataset("Beef")
+        a = sample_pairs(data, 10, seed=3)
+        b = sample_pairs(data, 10, seed=3)
+        np.testing.assert_array_equal(a[0][0], b[0][0])
+
+    def test_sample_pairs_bad_count(self):
+        data = load_dataset("Beef")
+        with pytest.raises(DatasetError):
+            sample_pairs(data, 10, n_pairs=0)

@@ -1,0 +1,82 @@
+"""Tests for the distance registry (repro.distances.base)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    CANONICAL_ORDER,
+    canonical_name,
+    get_distance,
+    list_distances,
+    pairwise_matrix,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_six_paper_functions_registered(self):
+        for name in CANONICAL_ORDER:
+            info = get_distance(name)
+            assert info.name == name
+            assert callable(info.fn)
+
+    def test_aliases_resolve(self):
+        assert canonical_name("EdD") == "edit"
+        assert canonical_name("HauD") == "hausdorff"
+        assert canonical_name("HamD") == "hamming"
+        assert canonical_name("MD") == "manhattan"
+        assert canonical_name("dtw") == "dtw"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown distance"):
+            get_distance("cosine")
+
+    def test_structures_match_paper_fig1(self):
+        # Matrix: DTW, LCS, HauD, EdD.  Row: MD, HamD.
+        for name in ("dtw", "lcs", "edit", "hausdorff"):
+            assert get_distance(name).structure == "matrix"
+        for name in ("hamming", "manhattan"):
+            assert get_distance(name).structure == "row"
+
+    def test_only_lcs_is_similarity(self):
+        assert get_distance("lcs").similarity
+        for name in ("dtw", "edit", "hausdorff", "hamming", "manhattan"):
+            assert not get_distance(name).similarity
+
+    def test_equal_length_requirements(self):
+        assert not get_distance("hamming").supports_unequal_lengths
+        assert not get_distance("manhattan").supports_unequal_lengths
+        assert get_distance("dtw").supports_unequal_lengths
+        assert get_distance("hausdorff").supports_unequal_lengths
+
+    def test_complexity_annotations(self):
+        assert get_distance("hamming").complexity == "O(n)"
+        assert get_distance("dtw").complexity == "O(n^2)"
+
+    def test_list_contains_euclidean_extra(self):
+        assert "euclidean" in list_distances()
+
+
+class TestPairwiseMatrix:
+    def test_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        series = [rng.normal(size=6) for _ in range(4)]
+        m = pairwise_matrix("manhattan", series)
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_values_match_direct_calls(self):
+        from repro.distances import dtw
+
+        rng = np.random.default_rng(1)
+        series = [rng.normal(size=5) for _ in range(3)]
+        m = pairwise_matrix("dtw", series)
+        assert m[0, 1] == pytest.approx(dtw(series[0], series[1]))
+        assert m[1, 2] == pytest.approx(dtw(series[1], series[2]))
+
+    def test_kwargs_forwarded(self):
+        series = [np.array([0.0, 1.0]), np.array([0.05, 1.05])]
+        strict = pairwise_matrix("hamming", series, threshold=0.0)
+        loose = pairwise_matrix("hamming", series, threshold=0.1)
+        assert strict[0, 1] == 2.0
+        assert loose[0, 1] == 0.0

@@ -1,0 +1,152 @@
+"""Tests for repro.distances.dtw (Eq. 2 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import dtw, dtw_matrix, dtw_path, dtw_vectorised
+from repro.errors import SequenceError
+
+
+class TestDtwBasics:
+    def test_identical_sequences_zero(self):
+        assert dtw([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_single_elements(self):
+        assert dtw([1.0], [4.0]) == pytest.approx(3.0)
+
+    def test_known_small_example(self):
+        # Hand-computed: P=[0,1], Q=[0,0,1].
+        # D11=0, D12=0, D13=1; D21=1, D22=1, D23=0.
+        assert dtw([0.0, 1.0], [0.0, 0.0, 1.0]) == pytest.approx(0.0)
+
+    def test_constant_offset(self):
+        # Constant sequences: every cell costs |a-b|; path length is
+        # max(n, m) cells at minimum.
+        assert dtw([1.0] * 3, [2.0] * 3) == pytest.approx(3.0)
+
+    def test_symmetry_unconstrained(self):
+        rng = np.random.default_rng(0)
+        p, q = rng.normal(size=9), rng.normal(size=9)
+        assert dtw(p, q) == pytest.approx(dtw(q, p))
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            p, q = rng.normal(size=7), rng.normal(size=8)
+            assert dtw(p, q) >= 0.0
+
+    def test_warping_beats_lockstep(self):
+        # A shifted pattern should align nearly perfectly under DTW
+        # while Manhattan (lockstep) cannot.
+        p = np.array([0.0, 0.0, 1.0, 2.0, 1.0, 0.0])
+        q = np.array([0.0, 1.0, 2.0, 1.0, 0.0, 0.0])
+        from repro.distances import manhattan
+
+        assert dtw(p, q) < manhattan(p, q)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SequenceError):
+            dtw([], [1.0])
+
+
+class TestDtwMatrix:
+    def test_boundary_conditions(self):
+        d = dtw_matrix([1.0, 2.0], [1.0, 2.0])
+        assert d[0, 0] == 0.0
+        assert np.all(np.isinf(d[0, 1:]))
+        assert np.all(np.isinf(d[1:, 0]))
+
+    def test_monotone_along_diagonal(self):
+        rng = np.random.default_rng(2)
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        d = dtw_matrix(p, q)
+        diag = np.diag(d)[1:]
+        assert np.all(np.diff(diag) >= -1e-12)
+
+    def test_final_cell_is_distance(self):
+        p, q = [0.0, 1.0, 0.0], [0.0, 2.0, 0.0]
+        assert dtw_matrix(p, q)[-1, -1] == dtw(p, q)
+
+
+class TestWeightedDtw:
+    def test_unit_weights_match_unweighted(self):
+        rng = np.random.default_rng(3)
+        p, q = rng.normal(size=5), rng.normal(size=5)
+        w = np.ones((5, 5))
+        assert dtw(p, q, weights=w) == pytest.approx(dtw(p, q))
+
+    def test_doubled_weights_double_distance(self):
+        rng = np.random.default_rng(4)
+        p, q = rng.normal(size=5), rng.normal(size=5)
+        assert dtw(p, q, weights=2.0) == pytest.approx(2.0 * dtw(p, q))
+
+    def test_zero_weights_zero_distance(self):
+        rng = np.random.default_rng(5)
+        p, q = rng.normal(size=4), rng.normal(size=4)
+        assert dtw(p, q, weights=0.0) == 0.0
+
+
+class TestSakoeChibaBand:
+    def test_band_never_decreases_distance(self):
+        rng = np.random.default_rng(6)
+        for _ in range(5):
+            p, q = rng.normal(size=10), rng.normal(size=10)
+            unconstrained = dtw(p, q)
+            for radius in (1, 2, 4):
+                assert dtw(p, q, band=radius) >= unconstrained - 1e-12
+
+    def test_wide_band_equals_unconstrained(self):
+        rng = np.random.default_rng(7)
+        p, q = rng.normal(size=8), rng.normal(size=8)
+        assert dtw(p, q, band=8) == pytest.approx(dtw(p, q))
+
+    def test_band_radius_zero_is_lockstep(self):
+        from repro.distances import manhattan
+
+        rng = np.random.default_rng(8)
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        assert dtw(p, q, band=0) == pytest.approx(manhattan(p, q))
+
+    def test_fractional_band(self):
+        rng = np.random.default_rng(9)
+        p, q = rng.normal(size=40), rng.normal(size=40)
+        # 5% of 40 = radius 2.
+        assert dtw(p, q, band=0.05) == pytest.approx(dtw(p, q, band=2))
+
+
+class TestDtwPath:
+    def test_path_endpoints(self):
+        rng = np.random.default_rng(10)
+        p, q = rng.normal(size=6), rng.normal(size=7)
+        _, path = dtw_path(p, q)
+        assert path[0] == (0, 0)
+        assert path[-1] == (5, 6)
+
+    def test_path_steps_are_valid(self):
+        rng = np.random.default_rng(11)
+        p, q = rng.normal(size=7), rng.normal(size=5)
+        _, path = dtw_path(p, q)
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert (i1 - i0, j1 - j0) in {(0, 1), (1, 0), (1, 1)}
+
+    def test_path_cost_sums_to_distance(self):
+        rng = np.random.default_rng(12)
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        distance, path = dtw_path(p, q)
+        cost = sum(abs(p[i] - q[j]) for i, j in path)
+        assert cost == pytest.approx(distance)
+
+
+class TestVectorised:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(13)
+        for _ in range(5):
+            p, q = rng.normal(size=9), rng.normal(size=11)
+            assert dtw_vectorised(p, q) == pytest.approx(dtw(p, q))
+
+    def test_matches_reference_with_band(self):
+        rng = np.random.default_rng(14)
+        p, q = rng.normal(size=12), rng.normal(size=12)
+        assert dtw_vectorised(p, q, band=3) == pytest.approx(
+            dtw(p, q, band=3)
+        )

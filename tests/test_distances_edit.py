@@ -1,0 +1,97 @@
+"""Tests for repro.distances.edit (Eq. 4 + the documented erratum)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import edit, edit_matrix, edit_operations
+
+
+class TestClassicalEditDistance:
+    def test_identical_is_zero(self):
+        assert edit_operations([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_kitten_sitting(self):
+        # kitten -> sitting is the canonical example (distance 3),
+        # encoded as integer codes.
+        kitten = [11, 9, 20, 20, 5, 14]
+        sitting = [19, 9, 20, 20, 9, 14, 7]
+        assert edit_operations(kitten, sitting) == 3
+
+    def test_empty_vs_full_is_length(self):
+        # One-sided: E[i,0] boundary gives pure deletions.
+        assert edit_operations([1], [2, 3, 4]) == 3
+
+    def test_single_substitution(self):
+        assert edit_operations([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_single_insertion(self):
+        assert edit_operations([1, 3], [1, 2, 3]) == 1
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        p = rng.integers(0, 4, 8).astype(float)
+        q = rng.integers(0, 4, 6).astype(float)
+        assert edit_operations(p, q) == edit_operations(q, p)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            a = rng.integers(0, 3, 6).astype(float)
+            b = rng.integers(0, 3, 6).astype(float)
+            c = rng.integers(0, 3, 6).astype(float)
+            assert edit_operations(a, c) <= edit_operations(
+                a, b
+            ) + edit_operations(b, c)
+
+    def test_upper_bound_max_length(self):
+        rng = np.random.default_rng(2)
+        p = rng.normal(size=7)
+        q = rng.normal(size=5)
+        assert edit_operations(p, q) <= 7
+
+
+class TestThresholdAndUnits:
+    def test_threshold_forgives_near_matches(self):
+        p = [1.0, 2.0, 3.0]
+        q = [1.05, 2.05, 3.05]
+        assert edit_operations(p, q, threshold=0.1) == 0
+        assert edit_operations(p, q, threshold=0.0) == 3
+
+    def test_v_step_scales_output(self):
+        p, q = [1.0, 2.0], [1.0, 9.0]
+        assert edit(p, q, v_step=0.01) == pytest.approx(0.01)
+
+    def test_boundary_scaled_by_v_step(self):
+        e = edit_matrix([1.0], [1.0], v_step=0.01)
+        assert e[1, 0] == pytest.approx(0.01)
+        assert e[0, 1] == pytest.approx(0.01)
+
+
+class TestPaperErrata:
+    def test_printed_recurrence_differs_on_matches(self):
+        # With matching sequences the printed Eq. (4) charges the
+        # diagonal, so it cannot return 0.
+        p = [1.0, 2.0, 3.0]
+        standard = edit(p, p)
+        printed = edit(p, p, paper_errata=True)
+        assert standard == 0.0
+        assert printed > 0.0
+
+    def test_printed_recurrence_still_bounded(self):
+        rng = np.random.default_rng(3)
+        p, q = rng.normal(size=5), rng.normal(size=5)
+        assert edit(p, q, paper_errata=True) <= 5.0
+
+
+class TestWeightedEdit:
+    def test_uniform_weights_scale(self):
+        p, q = [1.0, 2.0, 3.0], [4.0, 5.0, 6.0]
+        assert edit(p, q, weights=2.0) == pytest.approx(
+            2.0 * edit(p, q)
+        )
+
+    def test_weight_matrix_shape_enforced(self):
+        from repro.errors import WeightShapeError
+
+        with pytest.raises(WeightShapeError):
+            edit([1.0, 2.0], [1.0], weights=np.ones((3, 3)))

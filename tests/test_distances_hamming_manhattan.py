@@ -1,0 +1,108 @@
+"""Tests for the row-structure distances (Eq. 6 and Eq. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    euclidean,
+    hamming,
+    hamming_count,
+    hamming_profile,
+    manhattan,
+    manhattan_profile,
+)
+from repro.errors import LengthMismatchError
+
+
+class TestHamming:
+    def test_identical_zero(self):
+        assert hamming_count([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_counts_differences(self):
+        assert hamming_count([1, 2, 3, 4], [1, 0, 3, 0]) == 2
+
+    def test_eq6_semantics_counts_mismatches_not_matches(self):
+        # The Section 3.2.5 prose is inverted; Eq. (6) is normative.
+        assert hamming_count([1.0, 1.0], [1.0, 1.0]) == 0
+        assert hamming_count([1.0, 1.0], [9.0, 9.0]) == 2
+
+    def test_threshold_boundary_is_match(self):
+        assert hamming_count([0.0], [0.5], threshold=0.5) == 0
+        assert hamming_count([0.0], [0.51], threshold=0.5) == 1
+
+    def test_weights_and_vstep(self):
+        out = hamming(
+            [0.0, 0.0], [1.0, 1.0], v_step=0.5, weights=[1.0, 3.0]
+        )
+        assert out == pytest.approx(2.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            hamming([1, 2], [1, 2, 3])
+
+    def test_profile_is_indicator(self):
+        profile = hamming_profile([1.0, 2.0, 3.0], [1.0, 0.0, 3.0])
+        np.testing.assert_array_equal(profile, [0.0, 1.0, 0.0])
+
+    def test_profile_sums_to_count(self):
+        rng = np.random.default_rng(0)
+        p = rng.integers(0, 3, 12).astype(float)
+        q = rng.integers(0, 3, 12).astype(float)
+        assert hamming_profile(p, q).sum() == hamming_count(p, q)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        p, q = rng.normal(size=9), rng.normal(size=9)
+        assert hamming(p, q, threshold=0.3) == hamming(
+            q, p, threshold=0.3
+        )
+
+
+class TestManhattan:
+    def test_identical_zero(self):
+        assert manhattan([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert manhattan([1.0, 2.0], [2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        p, q = rng.normal(size=8), rng.normal(size=8)
+        assert manhattan(p, q) == pytest.approx(manhattan(q, p))
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            a, b, c = rng.normal(size=(3, 7))
+            assert manhattan(a, c) <= manhattan(a, b) + manhattan(
+                b, c
+            ) + 1e-12
+
+    def test_weights(self):
+        out = manhattan([0.0, 0.0], [1.0, 2.0], weights=[2.0, 0.5])
+        assert out == pytest.approx(3.0)
+
+    def test_profile_sums_to_distance(self):
+        rng = np.random.default_rng(4)
+        p, q = rng.normal(size=10), rng.normal(size=10)
+        assert manhattan_profile(p, q).sum() == pytest.approx(
+            manhattan(p, q)
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            manhattan([1.0], [1.0, 2.0])
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_dominated_by_manhattan(self):
+        rng = np.random.default_rng(5)
+        p, q = rng.normal(size=9), rng.normal(size=9)
+        assert euclidean(p, q) <= manhattan(p, q) + 1e-12
+
+    def test_weighted(self):
+        out = euclidean([0.0], [2.0], weights=[4.0])
+        assert out == pytest.approx(4.0)

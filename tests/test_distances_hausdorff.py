@@ -1,0 +1,82 @@
+"""Tests for repro.distances.hausdorff (Eq. 5, Fig. 2(d2) semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    directed_hausdorff,
+    hausdorff,
+    hausdorff_pairing,
+)
+
+
+class TestDirectedHausdorff:
+    def test_identical_sets_zero(self):
+        assert directed_hausdorff([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_subset_direction_zero(self):
+        # Every element of Q appears in P => h(Q, P) = 0.
+        assert directed_hausdorff([1.0, 2.0, 3.0], [2.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        # Q = {0, 5}, P = {0, 1}: min dists are 0 and 4 -> max 4.
+        assert directed_hausdorff([0.0, 1.0], [0.0, 5.0]) == pytest.approx(4.0)
+
+    def test_asymmetry(self):
+        p = [0.0, 10.0]
+        q = [0.0]
+        assert directed_hausdorff(p, q) == 0.0  # Q inside P
+        assert directed_hausdorff(q, p) == pytest.approx(10.0)
+
+    def test_permutation_invariance(self):
+        # Hausdorff treats sequences as sets: order must not matter.
+        rng = np.random.default_rng(0)
+        p, q = rng.normal(size=7), rng.normal(size=5)
+        shuffled = rng.permutation(p)
+        assert directed_hausdorff(shuffled, q) == pytest.approx(
+            directed_hausdorff(p, q)
+        )
+
+
+class TestSymmetricHausdorff:
+    def test_symmetric_is_max_of_directed(self):
+        rng = np.random.default_rng(1)
+        p, q = rng.normal(size=6), rng.normal(size=8)
+        expected = max(
+            directed_hausdorff(p, q), directed_hausdorff(q, p)
+        )
+        assert hausdorff(p, q, symmetric=True) == pytest.approx(expected)
+
+    def test_symmetric_version_is_symmetric(self):
+        rng = np.random.default_rng(2)
+        p, q = rng.normal(size=5), rng.normal(size=9)
+        assert hausdorff(p, q, symmetric=True) == pytest.approx(
+            hausdorff(q, p, symmetric=True)
+        )
+
+    def test_default_is_directed(self):
+        p, q = [0.0, 10.0], [0.0]
+        assert hausdorff(p, q) == 0.0
+
+
+class TestWeightedHausdorff:
+    def test_uniform_weight_scales(self):
+        rng = np.random.default_rng(3)
+        p, q = rng.normal(size=5), rng.normal(size=5)
+        assert hausdorff(p, q, weights=3.0) == pytest.approx(
+            3.0 * hausdorff(p, q)
+        )
+
+
+class TestPairing:
+    def test_pairing_matches_distance(self):
+        rng = np.random.default_rng(4)
+        p, q = rng.normal(size=6), rng.normal(size=7)
+        d, (i, j) = hausdorff_pairing(p, q)
+        assert d == pytest.approx(hausdorff(p, q))
+        assert d == pytest.approx(abs(p[i] - q[j]))
+
+    def test_pairing_indices_in_range(self):
+        p, q = [0.0, 1.0], [5.0, 6.0, 7.0]
+        _, (i, j) = hausdorff_pairing(p, q)
+        assert 0 <= i < 2 and 0 <= j < 3

@@ -1,0 +1,109 @@
+"""Tests for repro.distances.lcs (Eq. 3 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    lcs,
+    lcs_backtrace,
+    lcs_distance,
+    lcs_length,
+    lcs_matrix,
+)
+from repro.errors import SequenceError
+
+
+class TestClassicalLcs:
+    def test_identical_sequences(self):
+        assert lcs_length([1, 2, 3, 4], [1, 2, 3, 4]) == 4
+
+    def test_disjoint_sequences(self):
+        assert lcs_length([1, 2, 3], [4, 5, 6]) == 0
+
+    def test_textbook_example(self):
+        # Encodes "ABCBDAB" vs "BDCABA" -> LCS length 4 ("BCBA").
+        a = [1, 2, 3, 2, 4, 1, 2]
+        b = [2, 4, 3, 1, 2, 1]
+        assert lcs_length(a, b) == 4
+
+    def test_subsequence_containment(self):
+        assert lcs_length([1, 2, 3, 4, 5], [2, 4]) == 2
+
+    def test_single_common_element(self):
+        assert lcs_length([7, 1, 9], [3, 1, 5]) == 1
+
+
+class TestThreshold:
+    def test_threshold_relaxes_matching(self):
+        p = [1.0, 2.0, 3.0]
+        q = [1.1, 2.1, 3.1]
+        assert lcs_length(p, q, threshold=0.0) == 0
+        assert lcs_length(p, q, threshold=0.2) == 3
+
+    def test_threshold_boundary_inclusive(self):
+        assert lcs_length([0.0], [0.5], threshold=0.5) == 1
+
+    def test_similarity_increases_with_threshold(self):
+        rng = np.random.default_rng(0)
+        p, q = rng.normal(size=8), rng.normal(size=8)
+        values = [
+            lcs(p, q, threshold=t) for t in (0.0, 0.25, 0.5, 1.0, 2.0)
+        ]
+        assert values == sorted(values)
+
+
+class TestWeightedLcs:
+    def test_v_step_scales_score(self):
+        p, q = [1, 2, 3], [1, 2, 3]
+        assert lcs(p, q, v_step=0.01) == pytest.approx(0.03)
+
+    def test_weights_scale_contributions(self):
+        p, q = [1.0, 2.0], [1.0, 2.0]
+        w = np.array([[3.0, 1.0], [1.0, 5.0]])
+        assert lcs(p, q, weights=w) == pytest.approx(8.0)
+
+
+class TestMatrixAndBacktrace:
+    def test_matrix_monotone_rows_and_cols(self):
+        rng = np.random.default_rng(1)
+        p, q = rng.integers(0, 3, 7).astype(float), rng.integers(
+            0, 3, 9
+        ).astype(float)
+        score = lcs_matrix(p, q)
+        assert np.all(np.diff(score, axis=0) >= 0)
+        assert np.all(np.diff(score, axis=1) >= 0)
+
+    def test_backtrace_pairs_match(self):
+        p = [1.0, 5.0, 2.0, 8.0]
+        q = [5.0, 2.0, 9.0, 8.0]
+        pairs = lcs_backtrace(p, q)
+        assert len(pairs) == lcs_length(p, q)
+        for i, j in pairs:
+            assert p[i] == q[j]
+
+    def test_backtrace_pairs_strictly_increasing(self):
+        rng = np.random.default_rng(2)
+        p = rng.integers(0, 4, 10).astype(float)
+        q = rng.integers(0, 4, 10).astype(float)
+        pairs = lcs_backtrace(p, q)
+        for (i0, j0), (i1, j1) in zip(pairs, pairs[1:]):
+            assert i1 > i0 and j1 > j0
+
+
+class TestLcsDistance:
+    def test_zero_for_contained(self):
+        assert lcs_distance([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_one_for_disjoint(self):
+        assert lcs_distance([1, 2], [5, 6]) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(3)
+        p = rng.integers(0, 5, 9).astype(float)
+        q = rng.integers(0, 5, 6).astype(float)
+        d = lcs_distance(p, q)
+        assert 0.0 <= d <= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(SequenceError):
+            lcs([], [1.0])

@@ -1,0 +1,108 @@
+"""Tests for the weighted-variant weight generators."""
+
+import numpy as np
+import pytest
+
+from repro.distances import (
+    dtw,
+    gaussian_position_weights,
+    linear_position_weights,
+    manhattan,
+    matrix_from_position_weights,
+    recency_weights,
+    wdtw_weights,
+)
+from repro.errors import WeightShapeError
+
+
+class TestWdtwWeights:
+    def test_shape_and_range(self):
+        w = wdtw_weights(10, 12, g=0.1)
+        assert w.shape == (10, 12)
+        assert np.all(w > 0.0) and np.all(w <= 1.0)
+
+    def test_penalises_distant_alignments(self):
+        w = wdtw_weights(20, g=0.2)
+        assert w[0, 19] > w[0, 0]
+        assert w[0, 19] > w[10, 10]
+
+    def test_symmetric_in_index_difference(self):
+        w = wdtw_weights(8, g=0.3)
+        np.testing.assert_allclose(w, w.T)
+
+    def test_zero_g_uniform(self):
+        w = wdtw_weights(6, g=0.0)
+        np.testing.assert_allclose(w, w[0, 0])
+
+    def test_wdtw_prefers_diagonal_alignments(self):
+        # With strong off-diagonal penalty, WDTW of a shifted pattern
+        # exceeds unweighted DTW (shift now costs weight).
+        rng = np.random.default_rng(0)
+        p = np.concatenate([np.zeros(4), rng.normal(size=8)])
+        q = np.concatenate([rng.normal(size=8), np.zeros(4)])
+        w = wdtw_weights(12, g=0.6)
+        assert dtw(p, q, weights=w) <= dtw(p, q) + 1e-12
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WeightShapeError):
+            wdtw_weights(0)
+        with pytest.raises(WeightShapeError):
+            wdtw_weights(5, g=-1.0)
+
+
+class TestPositionWeights:
+    def test_linear_endpoints(self):
+        w = linear_position_weights(5, 0.5, 1.5)
+        assert w[0] == pytest.approx(0.5)
+        assert w[-1] == pytest.approx(1.5)
+
+    def test_gaussian_peak_at_centre(self):
+        w = gaussian_position_weights(21, centre=0.5)
+        assert int(np.argmax(w)) == 10
+        assert np.all(w >= 0.1 - 1e-12)
+
+    def test_recency_monotone(self):
+        w = recency_weights(6, decay=0.8)
+        assert np.all(np.diff(w) > 0)
+        assert w[-1] == pytest.approx(1.0)
+
+    def test_recency_bad_decay(self):
+        with pytest.raises(WeightShapeError):
+            recency_weights(4, decay=1.5)
+
+    def test_weighted_manhattan_emphasises_tail(self):
+        p = np.zeros(10)
+        q_head = p.copy()
+        q_head[0] = 1.0
+        q_tail = p.copy()
+        q_tail[-1] = 1.0
+        w = recency_weights(10, decay=0.5)
+        assert manhattan(p, q_tail, weights=w) > manhattan(
+            p, q_head, weights=w
+        )
+
+
+class TestMatrixLift:
+    def test_diagonal_matches_vectors(self):
+        r = linear_position_weights(6)
+        m = matrix_from_position_weights(r, r)
+        np.testing.assert_allclose(np.diag(m), r)
+
+    def test_shape(self):
+        m = matrix_from_position_weights(np.ones(3), np.ones(5))
+        assert m.shape == (3, 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(WeightShapeError):
+            matrix_from_position_weights([-1.0], [1.0])
+
+    def test_accelerator_accepts_generated_weights(self):
+        from repro.accelerator import DistanceAccelerator
+        from repro.analog import IDEAL
+
+        chip = DistanceAccelerator(nonideality=IDEAL, quantise_io=False)
+        rng = np.random.default_rng(1)
+        p, q = rng.normal(size=8), rng.normal(size=8)
+        w = wdtw_weights(8, g=0.1)
+        hw = chip.compute("dtw", p, q, weights=w).value
+        assert hw == pytest.approx(dtw(p, q, weights=w), abs=1e-8)

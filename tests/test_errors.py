@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "SequenceError",
+            "LengthMismatchError",
+            "WeightShapeError",
+            "ConfigurationError",
+            "ConvergenceError",
+            "NetlistError",
+            "SingularCircuitError",
+            "TuningError",
+            "CapacityError",
+            "DatasetError",
+        ):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_value_errors_are_value_errors(self):
+        # Callers using plain ValueError/RuntimeError still catch us.
+        assert issubclass(errors.SequenceError, ValueError)
+        assert issubclass(errors.ConfigurationError, ValueError)
+        assert issubclass(errors.NetlistError, ValueError)
+        assert issubclass(errors.DatasetError, ValueError)
+        assert issubclass(errors.ConvergenceError, RuntimeError)
+        assert issubclass(errors.TuningError, RuntimeError)
+
+    def test_specialisations(self):
+        assert issubclass(
+            errors.LengthMismatchError, errors.SequenceError
+        )
+        assert issubclass(
+            errors.SingularCircuitError, errors.ConvergenceError
+        )
+        assert issubclass(errors.CapacityError, errors.ConfigurationError)
+
+    def test_single_catch_covers_library(self):
+        from repro.distances import dtw
+
+        with pytest.raises(errors.ReproError):
+            dtw([], [1.0])
+
+    def test_library_never_raises_bare_exceptions(self):
+        # A few representative invalid calls; each must raise a
+        # ReproError subclass, not TypeError/IndexError leakage.
+        from repro.accelerator import DistanceAccelerator
+        from repro.datasets import load_dataset
+        from repro.mining import k_medoids
+
+        import numpy as np
+
+        with pytest.raises(errors.ReproError):
+            DistanceAccelerator().compute("dtw", [], [1.0])
+        with pytest.raises(errors.ReproError):
+            load_dataset("nope")
+        with pytest.raises(errors.ReproError):
+            k_medoids(np.ones((2, 3)), 1)

@@ -1,0 +1,82 @@
+"""Tests for the CSV exporters."""
+
+import csv
+
+import pytest
+
+from repro.eval import run_fig5, run_power_table
+from repro.eval.export import export_fig5_csv, export_power_csv
+
+
+class TestExport:
+    def test_fig5_roundtrip(self, tmp_path):
+        result = run_fig5(
+            functions=("manhattan",),
+            lengths=(6, 12),
+            datasets=("Beef",),
+            measure_time=False,
+        )
+        path = export_fig5_csv(result, tmp_path / "fig5.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["function"] == "manhattan"
+        assert int(rows[0]["length"]) == 6
+        assert float(rows[0]["relative_error"]) == pytest.approx(
+            result.points[0].mean_relative_error, rel=1e-4
+        )
+
+    def test_power_roundtrip(self, tmp_path):
+        table = run_power_table()
+        path = export_power_csv(table, tmp_path / "power.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 6
+        dtw = next(r for r in rows if r["function"] == "dtw")
+        assert float(dtw["ours_w"]) == pytest.approx(0.58, abs=0.01)
+
+    def test_fig6a_roundtrip(self, tmp_path):
+        from repro.eval import Fig6aResult, Fig6aRow
+        from repro.eval.export import export_fig6a_csv
+
+        result = Fig6aResult(
+            rows=[
+                Fig6aRow(
+                    function="dtw",
+                    ours_per_element_ns=3.3,
+                    existing_per_element_ns=11.4,
+                    existing_platform="FPGA",
+                    existing_reference="[25]",
+                    speedup=3.45,
+                    early_determination=False,
+                )
+            ]
+        )
+        path = export_fig6a_csv(result, tmp_path / "fig6a.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["platform"] == "FPGA"
+        assert float(rows[0]["speedup"]) == pytest.approx(3.45)
+        assert rows[0]["early_determination"] == "0"
+
+    def test_fig6b_roundtrip(self, tmp_path):
+        from repro.eval import Fig6bPoint, Fig6bResult
+        from repro.eval.export import export_fig6b_csv
+
+        result = Fig6bResult(
+            points=[
+                Fig6bPoint(
+                    function="manhattan",
+                    length=20,
+                    ours_ns=14.0,
+                    cpu_model_ns=131.0,
+                    cpu_measured_ns=None,
+                    speedup_vs_model=9.4,
+                )
+            ]
+        )
+        path = export_fig6b_csv(result, tmp_path / "fig6b.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert int(rows[0]["length"]) == 20
+        assert float(rows[0]["speedup"]) == pytest.approx(9.4)

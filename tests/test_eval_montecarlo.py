@@ -1,0 +1,93 @@
+"""Tests for the Monte-Carlo chip/yield analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analog import NonidealityModel
+from repro.eval import run_monte_carlo, yield_vs_tolerance
+
+
+class TestMonteCarlo:
+    def test_chip_count_and_determinism(self):
+        a = run_monte_carlo(
+            "manhattan", n_chips=5, length=8, pairs_per_chip=1
+        )
+        b = run_monte_carlo(
+            "manhattan", n_chips=5, length=8, pairs_per_chip=1
+        )
+        assert len(a.chips) == 5
+        for ca, cb in zip(a.chips, b.chips):
+            assert ca.mean_error == cb.mean_error
+
+    def test_chips_differ_from_each_other(self):
+        result = run_monte_carlo(
+            "manhattan", n_chips=6, length=8, pairs_per_chip=1
+        )
+        errors = {c.mean_error for c in result.chips}
+        assert len(errors) > 1
+
+    def test_max_at_least_mean(self):
+        result = run_monte_carlo(
+            "dtw", n_chips=4, length=8, pairs_per_chip=2
+        )
+        for chip in result.chips:
+            assert chip.max_error >= chip.mean_error
+
+    def test_ideal_chips_have_perfect_yield(self):
+        ideal = NonidealityModel(
+            open_loop_gain=1e12,
+            offset_sigma=0.0,
+            diode_drop=0.0,
+            comparator_offset_sigma=0.0,
+            weight_tolerance=0.0,
+        )
+        result = run_monte_carlo(
+            "manhattan",
+            n_chips=4,
+            length=8,
+            base_model=ideal,
+            specification=1e-6,
+            pairs_per_chip=1,
+        )
+        assert result.yield_fraction == 1.0
+
+    def test_worst_chip_identified(self):
+        result = run_monte_carlo(
+            "manhattan", n_chips=5, length=8, pairs_per_chip=1
+        )
+        worst = result.worst_chip
+        assert worst.max_error == max(
+            c.max_error for c in result.chips
+        )
+
+    def test_table_renders(self):
+        result = run_monte_carlo(
+            "manhattan", n_chips=3, length=8, pairs_per_chip=1
+        )
+        text = result.table()
+        assert "parametric yield" in text
+
+
+class TestYieldVsTolerance:
+    def test_yield_degrades_with_tolerance(self):
+        curve = yield_vs_tolerance(
+            "dtw",
+            tolerances=(0.0, 0.05),
+            n_chips=6,
+            length=10,
+            specification=0.03,
+            pairs_per_chip=1,
+        )
+        assert curve[0.0] >= curve[0.05]
+
+    def test_zero_tolerance_not_necessarily_perfect(self):
+        # Offsets and comparator errors remain even with exact ratios.
+        curve = yield_vs_tolerance(
+            "dtw",
+            tolerances=(0.0,),
+            n_chips=4,
+            length=10,
+            specification=1e-9,
+            pairs_per_chip=1,
+        )
+        assert curve[0.0] < 1.0

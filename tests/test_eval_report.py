@@ -1,0 +1,103 @@
+"""Tests for the aggregated report renderer."""
+
+import pytest
+
+from repro.eval import (
+    Fig5Point,
+    Fig5Result,
+    Fig6aRow,
+    Fig6aResult,
+    Fig6bPoint,
+    Fig6bResult,
+    FullReport,
+    PowerRow,
+    PowerTable,
+)
+
+
+@pytest.fixture
+def small_report() -> FullReport:
+    fig5 = Fig5Result(
+        points=[
+            Fig5Point(
+                function="dtw",
+                length=10,
+                mean_convergence_ns=40.0,
+                mean_relative_error=0.01,
+                n_runs=2,
+            )
+        ]
+    )
+    fig6a = Fig6aResult(
+        rows=[
+            Fig6aRow(
+                function="dtw",
+                ours_per_element_ns=3.3,
+                existing_per_element_ns=11.4,
+                existing_platform="FPGA",
+                existing_reference="[25]",
+                speedup=3.5,
+                early_determination=False,
+            )
+        ]
+    )
+    fig6b = Fig6bResult(
+        points=[
+            Fig6bPoint(
+                function="dtw",
+                length=10,
+                ours_ns=40.0,
+                cpu_model_ns=560.0,
+                cpu_measured_ns=None,
+                speedup_vs_model=14.0,
+            )
+        ]
+    )
+    power = PowerTable(
+        rows=[
+            PowerRow(
+                function="dtw",
+                ours_w=0.58,
+                paper_reported_w=0.58,
+                existing_w=4.76,
+                speedup=3.5,
+                energy_improvement=28.7,
+            )
+        ]
+    )
+    return FullReport(
+        fig5=fig5, fig6a=fig6a, fig6b=fig6b, power=power
+    )
+
+
+class TestRender:
+    def test_all_sections_present(self, small_report):
+        text = small_report.render()
+        assert "Fig. 5" in text
+        assert "Fig. 6(a)" in text
+        assert "Fig. 6(b)" in text
+        assert "Section 4.3" in text
+
+    def test_values_rendered(self, small_report):
+        text = small_report.render()
+        assert "3.5x" in text
+        assert "0.58" in text
+
+    def test_power_row_deviation(self):
+        row = PowerRow(
+            function="dtw",
+            ours_w=0.59,
+            paper_reported_w=0.58,
+            existing_w=4.76,
+            speedup=3.5,
+            energy_improvement=28.0,
+        )
+        assert row.power_deviation == pytest.approx(
+            abs(0.59 / 0.58 - 1.0)
+        )
+
+    def test_speedup_range_helpers(self, small_report):
+        lo, hi = small_report.fig6a.speedup_range
+        assert lo == hi == 3.5
+        lo_e, hi_e = small_report.power.energy_range
+        assert lo_e == hi_e == 28.7

@@ -1,0 +1,57 @@
+"""Tests for the error-source sensitivity analysis."""
+
+import pytest
+
+from repro.eval import KNOBS, run_sensitivity
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sensitivity(
+        functions=("dtw", "manhattan"), length=10, n_pairs=1
+    )
+
+
+class TestSensitivity:
+    def test_all_knobs_reported(self, report):
+        for function in ("dtw", "manhattan"):
+            errors = report.errors_of(function)
+            assert set(errors) == set(KNOBS)
+
+    def test_exact_reference_is_zero(self, report):
+        for function in ("dtw", "manhattan"):
+            assert report.errors_of(function)["none"] == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_isolated_sources_nonzero_for_dtw(self, report):
+        errors = report.errors_of("dtw")
+        assert errors["offsets"] > 0.0
+        assert errors["finite_gain"] > 0.0
+
+    def test_paper_attribution_cascade_drift_dominates_dtw(self, report):
+        # Section 4.2: "larger zero drift exists [in] PEs for DTW" —
+        # a cascade-accumulating source (offsets or the per-stage
+        # diode drop) must dominate, not the comparator or weights.
+        assert report.dominant_source("dtw") in (
+            "offsets",
+            "diode_drop",
+            "finite_gain",
+        )
+
+    def test_all_at_least_largest_single_source(self, report):
+        # Error sources can partially cancel, but the full chip should
+        # be within 2x of the dominant isolated source.
+        for function in ("dtw", "manhattan"):
+            errors = report.errors_of(function)
+            isolated_max = max(
+                v
+                for k, v in errors.items()
+                if k not in ("none", "all")
+            )
+            assert errors["all"] > isolated_max / 2.0
+
+    def test_table_renders(self, report):
+        text = report.table()
+        assert "finite_gain" in text
+        assert "dtw" in text

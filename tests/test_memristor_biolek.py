@@ -1,0 +1,106 @@
+"""Tests for the deterministic Biolek drift model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memristor import (
+    BiolekMemristor,
+    BiolekParameters,
+    biolek_window,
+    simulate_sinusoidal_sweep,
+)
+
+
+class TestWindow:
+    def test_window_in_unit_interval(self):
+        x = np.linspace(0.0, 1.0, 11)
+        for current in (-1.0, 1.0):
+            w = biolek_window(x, np.full_like(x, current), p=2)
+            assert np.all(w >= 0.0) and np.all(w <= 1.0)
+
+    def test_window_blocks_boundary_it_approaches(self):
+        # Positive current drives x up; window must vanish at x = 1.
+        assert biolek_window(1.0, 1.0, p=2) == pytest.approx(0.0)
+        # Negative current drives x down; window vanishes at x = 0.
+        assert biolek_window(0.0, -1.0, p=2) == pytest.approx(0.0)
+
+    def test_window_open_at_boundary_it_leaves(self):
+        # No terminal lockup: drift away from a boundary is allowed.
+        assert biolek_window(0.0, 1.0, p=2) == pytest.approx(1.0)
+        assert biolek_window(1.0, -1.0, p=2) == pytest.approx(1.0)
+
+    def test_higher_p_flattens_window(self):
+        w2 = biolek_window(0.7, 1.0, p=2)
+        w8 = biolek_window(0.7, 1.0, p=8)
+        assert w8 > w2
+
+
+class TestDrift:
+    def test_positive_voltage_decreases_resistance(self):
+        m = BiolekMemristor(x=0.5)
+        r0 = m.resistance
+        m.apply_pulse(voltage=2.0, width=1e-3)
+        assert m.resistance < r0
+
+    def test_negative_voltage_increases_resistance(self):
+        m = BiolekMemristor(x=0.5)
+        r0 = m.resistance
+        m.apply_pulse(voltage=-2.0, width=1e-3)
+        assert m.resistance > r0
+
+    def test_state_stays_bounded(self):
+        m = BiolekMemristor(x=0.9)
+        m.apply_pulse(voltage=5.0, width=1.0, substeps=500)
+        assert 0.0 <= m.x <= 1.0
+
+    def test_compute_voltage_drift_negligible(self):
+        # Section 4.2's robustness argument: at <= Vcc/4 = 0.25 V for
+        # nanoseconds, the state barely moves.
+        m = BiolekMemristor(x=0.5)
+        r0 = m.resistance
+        m.apply_pulse(voltage=0.25, width=100e-9)
+        assert abs(m.resistance / r0 - 1.0) < 1e-6
+
+    def test_rejects_bad_dt(self):
+        m = BiolekMemristor()
+        with pytest.raises(ConfigurationError):
+            m.step(1.0, dt=0.0)
+
+    def test_rejects_bad_substeps(self):
+        m = BiolekMemristor()
+        with pytest.raises(ConfigurationError):
+            m.apply_pulse(1.0, 1e-3, substeps=0)
+
+
+class TestParameters:
+    def test_rejects_negative_mobility(self):
+        with pytest.raises(ConfigurationError):
+            BiolekParameters(mu_v=-1e-14)
+
+    def test_rejects_window_exponent_below_one(self):
+        with pytest.raises(ConfigurationError):
+            BiolekParameters(p_exponent=0)
+
+
+class TestHysteresis:
+    def test_pinched_hysteresis_loop(self):
+        # The canonical memristor fingerprint: the I-V trace under a
+        # sinusoid passes through the origin but is multivalued
+        # elsewhere (different resistance on up/down sweeps).
+        device = BiolekMemristor(x=0.5)
+        t, v, i, r = simulate_sinusoidal_sweep(
+            device, amplitude=1.5, frequency=1.0, cycles=1.0
+        )
+        assert r.max() / r.min() > 1.001  # resistance actually moved
+        # Compare resistance at the same |v| on rising/falling branches.
+        quarter = len(t) // 4
+        assert abs(r[quarter // 2] - r[2 * quarter + quarter // 2]) > 0.0
+
+    def test_current_zero_when_voltage_zero(self):
+        device = BiolekMemristor(x=0.5)
+        _, v, i, _ = simulate_sinusoidal_sweep(
+            device, amplitude=1.0, frequency=1.0, cycles=1.0
+        )
+        zero_crossings = np.abs(v) < 1e-3
+        assert np.all(np.abs(i[zero_crossings]) < 1e-5)

@@ -1,0 +1,98 @@
+"""Tests for the row adder and crossbar weighted-sum structures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memristor import CrossbarArray, RowAdder
+
+
+class TestRowAdder:
+    def test_unit_weights_sum(self):
+        adder = RowAdder([1.0, 1.0, 1.0], open_loop_gain=1e9)
+        out = adder.output([0.01, 0.02, 0.03])
+        assert out == pytest.approx(-0.06, rel=1e-6)
+
+    def test_weighted_sum(self):
+        adder = RowAdder([2.0, 0.5], open_loop_gain=1e9)
+        out = adder.output([0.01, 0.02])
+        assert out == pytest.approx(-(0.02 + 0.01), rel=1e-6)
+
+    def test_finite_gain_error_matches_formula(self):
+        weights = [1.0, 1.0]
+        a0 = 1.0e4
+        adder = RowAdder(weights, open_loop_gain=a0)
+        ideal = -0.02
+        noise_gain = 1.0 + 2.0
+        expected = ideal * a0 / (a0 + noise_gain)
+        assert adder.output([0.01, 0.01]) == pytest.approx(expected)
+
+    def test_realised_weights_exact(self):
+        adder = RowAdder([1.0, 3.0, 0.25])
+        np.testing.assert_allclose(adder.weights, [1.0, 3.0, 0.25])
+
+    def test_devices_within_range(self):
+        adder = RowAdder([0.1, 10.0])
+        for device in adder.inputs + [adder.feedback]:
+            assert (
+                device.params.r_on
+                <= device.resistance
+                <= device.params.r_off
+            )
+
+    def test_too_wide_weight_spread_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowAdder([1e-3, 1e3])
+
+    def test_wrong_input_count_rejected(self):
+        adder = RowAdder([1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            adder.output([0.01])
+
+    def test_power_positive_and_scales(self):
+        adder = RowAdder([1.0, 1.0])
+        p1 = adder.power([0.01, 0.01])
+        p2 = adder.power([0.02, 0.02])
+        assert p1 > 0
+        assert p2 == pytest.approx(4.0 * p1, rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RowAdder([])
+
+
+class TestCrossbar:
+    def test_matvec_matches_matrix_product(self):
+        w = np.array([[1.0, 2.0], [0.5, 1.0]])
+        xbar = CrossbarArray(w)
+        v = np.array([0.01, 0.02])
+        expected = (w / 100e3) @ v
+        np.testing.assert_allclose(xbar.matvec(v), expected, rtol=1e-3)
+
+    def test_weighted_sums_unit_weight_identity(self):
+        xbar = CrossbarArray(np.eye(3))
+        v = np.array([0.01, 0.02, 0.03])
+        np.testing.assert_allclose(
+            xbar.weighted_sums(v), v, rtol=1e-2
+        )
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarArray([[-1.0]])
+
+    def test_rejects_weights_above_device_limit(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarArray([[200.0]])  # r_off/r_on = 100
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarArray(np.ones(3))
+
+    def test_static_power_non_negative(self):
+        xbar = CrossbarArray(np.ones((2, 2)))
+        assert xbar.static_power([0.1, 0.1]) > 0.0
+
+    def test_wrong_vector_length_rejected(self):
+        xbar = CrossbarArray(np.ones((2, 3)))
+        with pytest.raises(ConfigurationError):
+            xbar.matvec([0.1, 0.1])

@@ -1,0 +1,104 @@
+"""Tests for the core memristor device model (Table 2 parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memristor import (
+    DeviceParameters,
+    Memristor,
+    PAPER_PARAMETERS,
+    ratio_pair,
+)
+
+
+class TestDeviceParameters:
+    def test_paper_values(self):
+        p = PAPER_PARAMETERS
+        assert p.r_on == 1.0e3
+        assert p.r_off == 100.0e3
+        assert p.v_t0 == 3.0
+        assert p.delta_v == 0.2
+        assert p.tau == 2.85e5
+        assert p.v0 == 0.156
+        assert p.delta_r == 0.05
+
+    def test_rejects_inverted_states(self):
+        with pytest.raises(ConfigurationError):
+            DeviceParameters(r_on=1e5, r_off=1e3)
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(ConfigurationError):
+            DeviceParameters(delta_r=-0.1)
+
+    def test_rejects_unity_spread(self):
+        with pytest.raises(ConfigurationError):
+            DeviceParameters(delta_r=1.0)
+
+
+class TestMemristorState:
+    def test_hrs_at_x_zero(self):
+        m = Memristor(x=0.0)
+        assert m.resistance == PAPER_PARAMETERS.r_off
+
+    def test_lrs_at_x_one(self):
+        m = Memristor(x=1.0)
+        assert m.resistance == PAPER_PARAMETERS.r_on
+
+    def test_resistance_interpolates(self):
+        m = Memristor(x=0.5)
+        expected = 0.5 * (
+            PAPER_PARAMETERS.r_on + PAPER_PARAMETERS.r_off
+        )
+        assert m.resistance == pytest.approx(expected)
+
+    def test_conductance_inverse(self):
+        m = Memristor(x=0.3)
+        assert m.conductance == pytest.approx(1.0 / m.resistance)
+
+    def test_rejects_out_of_range_state(self):
+        with pytest.raises(ConfigurationError):
+            Memristor(x=1.5)
+
+    def test_set_resistance_roundtrip(self):
+        m = Memristor()
+        for target in (1e3, 5e3, 50e3, 100e3):
+            m.set_resistance(target)
+            assert m.resistance == pytest.approx(target)
+
+    def test_set_resistance_out_of_range(self):
+        m = Memristor()
+        with pytest.raises(ConfigurationError):
+            m.set_resistance(500.0)
+        with pytest.raises(ConfigurationError):
+            m.set_resistance(1e6)
+
+    def test_set_hrs_lrs_shortcuts(self):
+        m = Memristor(x=0.5)
+        m.set_hrs()
+        assert m.resistance == PAPER_PARAMETERS.r_off
+        m.set_lrs()
+        assert m.resistance == PAPER_PARAMETERS.r_on
+
+
+class TestRatioPair:
+    @pytest.mark.parametrize("ratio", [0.05, 0.5, 1.0, 2.0, 50.0])
+    def test_achieves_ratio(self, ratio):
+        m1, m2 = ratio_pair(ratio)
+        assert m1.resistance / m2.resistance == pytest.approx(ratio)
+
+    def test_unit_ratio_both_hrs(self):
+        # The unweighted configuration: HRS/HRS (Section 3.1).
+        m1, m2 = ratio_pair(1.0)
+        assert m1.resistance == PAPER_PARAMETERS.r_off
+        assert m2.resistance == PAPER_PARAMETERS.r_off
+
+    def test_dtw_weight_rule(self):
+        # Section 3.2.1: M1/M2 = (2 - w)/w; check a weighted example.
+        w = 0.8
+        m1, m2 = ratio_pair((2 - w) / w)
+        assert m1.resistance / m2.resistance == pytest.approx(1.5)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            ratio_pair(0.0)

@@ -1,0 +1,141 @@
+"""Tests for the stochastic Biolek model (Table 2) and the Section 4.2
+robustness claim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memristor import (
+    PAPER_PARAMETERS,
+    StochasticMemristor,
+    expected_disturb_probability,
+    switching_probability,
+    switching_rate,
+)
+
+
+class TestSwitchingLaw:
+    def test_rate_at_threshold(self):
+        # At |V| = VT0 the soft threshold gate is exactly 1/2.
+        expected = (
+            np.exp(3.0 / PAPER_PARAMETERS.v0)
+            / PAPER_PARAMETERS.tau
+            / 2.0
+        )
+        assert switching_rate(3.0) == pytest.approx(expected)
+
+    def test_write_pulse_transition_time_is_about_1us(self):
+        # Section 4.2: "the transition time of about 1 us" — a strong
+        # write (4 V) must switch on the microsecond scale.
+        mean_time = 1.0 / switching_rate(4.0)
+        assert 1e-8 < mean_time < 1e-4
+
+    def test_compute_voltage_mean_time_astronomical(self):
+        mean_time = 1.0 / switching_rate(0.25)
+        assert mean_time > 1e10
+
+    def test_rate_strictly_increasing(self):
+        rates = [switching_rate(v) for v in (0.5, 1.5, 2.5, 3.5, 4.5)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_rate_symmetric_in_sign(self):
+        assert switching_rate(-3.0) == switching_rate(3.0)
+
+    def test_probability_monotone_in_voltage(self):
+        probs = [
+            switching_probability(v, 1e-6)
+            for v in (0.25, 1.0, 2.0, 3.0, 4.0)
+        ]
+        assert probs == sorted(probs)
+
+    def test_probability_monotone_in_time(self):
+        p1 = switching_probability(3.5, 1e-9)
+        p2 = switching_probability(3.5, 1e-6)
+        assert p2 > p1
+
+    def test_probability_bounds(self):
+        assert 0.0 <= switching_probability(5.0, 1.0) <= 1.0
+        assert switching_probability(0.0, 0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            switching_probability(1.0, -1.0)
+
+
+class TestSection42Claim:
+    def test_compute_voltage_disturb_negligible(self):
+        # Vcc/4 = 0.25 V for ~10 ns across a full 128x128 array of
+        # devices over hundreds of runs: probability ~ 0.
+        p = expected_disturb_probability(
+            compute_voltage=0.25,
+            compute_time=10e-9,
+            n_devices=128 * 128 * 14,
+        )
+        assert p < 1e-12
+
+    def test_programming_pulse_does_switch(self):
+        # A proper write (4.5 V for 1 us, or 4 V for 20 us) must have
+        # near-certain success given the ~2 us mean transition at 4 V.
+        assert switching_probability(4.5, 1e-6) > 0.99
+        assert switching_probability(4.0, 20e-6) > 0.99
+
+    def test_compute_time_vs_transition_time(self):
+        # Section 4.2: computation (~ns) is far below the ~1 us
+        # transition time at programming bias.
+        ns_prob = switching_probability(3.0, 1e-9)
+        us_prob = switching_probability(3.0, 1e-6)
+        assert ns_prob < us_prob / 100.0
+
+
+class TestStochasticDevice:
+    def test_sub_threshold_exposure_never_switches(self):
+        rng = np.random.default_rng(0)
+        device = StochasticMemristor(x=0.0, rng=rng)
+        for _ in range(200):
+            device.expose(0.25, 10e-9)
+        assert device.switch_count == 0
+        assert device.resistance == PAPER_PARAMETERS.r_off
+
+    def test_strong_set_pulse_switches_to_lrs(self):
+        rng = np.random.default_rng(1)
+        device = StochasticMemristor(x=0.0, rng=rng)
+        switched = device.expose(4.5, 1e-6)
+        assert switched
+        assert device.resistance < 2.0 * PAPER_PARAMETERS.r_on
+
+    def test_reset_pulse_switches_to_hrs(self):
+        rng = np.random.default_rng(2)
+        device = StochasticMemristor(x=1.0, rng=rng)
+        switched = device.expose(-4.5, 1e-6)
+        assert switched
+        assert device.resistance > 0.5 * PAPER_PARAMETERS.r_off
+
+    def test_set_on_already_set_device_is_noop(self):
+        rng = np.random.default_rng(3)
+        device = StochasticMemristor(x=1.0, rng=rng)
+        assert not device.expose(4.0, 1e-6)
+        assert device.switch_count == 0
+
+    def test_switching_spread_within_delta_r(self):
+        rng = np.random.default_rng(4)
+        resistances = []
+        for _ in range(50):
+            device = StochasticMemristor(x=0.0, rng=rng)
+            device.expose(4.5, 1e-5)
+            resistances.append(device.resistance)
+        resistances = np.array(resistances)
+        r_on = PAPER_PARAMETERS.r_on
+        assert np.all(resistances >= r_on * 0.95 - 1e-9)
+        assert np.all(resistances <= r_on * 1.05 + 1e-9)
+        # And the spread is real, not collapsed to nominal.
+        assert resistances.std() > 0.0
+
+    def test_switching_is_probabilistic_near_threshold(self):
+        # At a marginal pulse, some devices switch and some do not.
+        rng = np.random.default_rng(5)
+        outcomes = []
+        for _ in range(200):
+            device = StochasticMemristor(x=0.0, rng=rng)
+            # ~p = 0.5 operating point: rate(3.0) ~ 394/s over 1.8 ms.
+            outcomes.append(device.expose(3.0, 1.8e-3))
+        assert 20 < sum(outcomes) < 180

@@ -1,0 +1,145 @@
+"""Tests for process variation (Section 3.3(3)) and resistance tuning
+(Section 3.3(2))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.memristor import (
+    Memristor,
+    PAPER_VARIATION,
+    TuningConfig,
+    VariationModel,
+    fabricate_ratio_pair,
+    perturb_resistance,
+    tune_adder_bank,
+    tune_ratio,
+    tune_weight_bank,
+)
+
+
+class TestVariationModel:
+    def test_paper_defaults(self):
+        assert 0.20 <= PAPER_VARIATION.global_tolerance <= 0.30
+        assert PAPER_VARIATION.matching_tolerance <= 0.01
+
+    def test_rejects_out_of_range(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            VariationModel(global_tolerance=1.5)
+
+    def test_perturbation_within_bounds(self):
+        rng = np.random.default_rng(0)
+        model = VariationModel()
+        for _ in range(100):
+            r = perturb_resistance(
+                50e3, model, rng, matched=False, chip_factor=1.0
+            )
+            assert abs(r / 50e3 - 1.0) <= model.device_tolerance + 1e-12
+
+    def test_matched_pair_ratio_tight_despite_global_spread(self):
+        # The Section 3.3 argument: common-mode variation cancels in
+        # the ratio; matched pairs stay within ~1% of the target even
+        # with +/-25% global deviation.
+        rng = np.random.default_rng(1)
+        worst = 0.0
+        for _ in range(100):
+            _, _, achieved = fabricate_ratio_pair(
+                2.0, rng=rng, matched=True
+            )
+            worst = max(worst, abs(achieved / 2.0 - 1.0))
+        assert worst < 0.025  # ~2 x matching tolerance
+
+    def test_unmatched_pair_ratio_much_looser(self):
+        rng = np.random.default_rng(2)
+        errors = []
+        for _ in range(100):
+            _, _, achieved = fabricate_ratio_pair(
+                2.0, rng=rng, matched=False
+            )
+            errors.append(abs(achieved / 2.0 - 1.0))
+        assert max(errors) > 0.03  # visibly worse than matched
+
+
+class TestTuning:
+    def test_tunes_unit_ratio_from_bad_start(self):
+        rng = np.random.default_rng(3)
+        num = Memristor()
+        num.set_resistance(70e3)  # 30% off from the 100k reference
+        den = Memristor()
+        den.set_resistance(100e3)
+        result = tune_ratio(num, den, 1.0, rng=rng)
+        assert result.relative_error < 0.01
+
+    def test_tuning_converges_geometrically(self):
+        rng = np.random.default_rng(4)
+        num = Memristor()
+        num.set_resistance(60e3)
+        den = Memristor()
+        den.set_resistance(90e3)
+        result = tune_ratio(num, den, 1.0, rng=rng)
+        errors = [abs(h / 1.0 - 1.0) for h in result.history]
+        assert errors[-1] < errors[0]
+
+    def test_weighted_ratio(self):
+        rng = np.random.default_rng(5)
+        num = Memristor()
+        num.set_resistance(50e3)
+        den = Memristor()
+        den.set_resistance(40e3)
+        result = tune_ratio(num, den, 2.0, rng=rng)
+        assert result.achieved_ratio == pytest.approx(2.0, rel=0.02)
+
+    def test_unreachable_ratio_raises(self):
+        num = Memristor()
+        den = Memristor()
+        den.set_resistance(100e3)
+        with pytest.raises(TuningError, match="unreachable"):
+            tune_ratio(num, den, 5.0)  # needs 500k > r_off
+
+    def test_tight_tolerance_needs_low_write_noise(self):
+        rng = np.random.default_rng(6)
+        num = Memristor()
+        num.set_resistance(80e3)
+        den = Memristor()
+        den.set_resistance(100e3)
+        config = TuningConfig(
+            tolerance=5e-4, write_noise=1e-4, max_iterations=200
+        )
+        result = tune_ratio(num, den, 1.0, config=config, rng=rng)
+        assert result.relative_error < 5e-3
+
+    def test_adder_bank_all_match_reference(self):
+        rng = np.random.default_rng(7)
+        reference = Memristor()
+        reference.set_resistance(100e3)
+        devices = []
+        for r in (60e3, 75e3, 90e3, 99e3):
+            d = Memristor()
+            d.set_resistance(r)
+            devices.append(d)
+        results = tune_adder_bank(devices, reference, rng=rng)
+        for result in results:
+            assert result.relative_error < 0.01
+
+    def test_weight_bank_realises_weights(self):
+        rng = np.random.default_rng(8)
+        reference = Memristor()
+        reference.set_resistance(50e3)
+        devices = []
+        for _ in range(3):
+            d = Memristor()
+            d.set_resistance(80e3)
+            devices.append(d)
+        weights = [1.0, 2.0, 4.0]
+        tune_weight_bank(devices, reference, weights, rng=rng)
+        for device, w in zip(devices, weights):
+            realised = reference.resistance / device.resistance
+            assert realised == pytest.approx(w, rel=0.02)
+
+    def test_weight_bank_rejects_non_positive_weight(self):
+        reference = Memristor()
+        device = Memristor()
+        with pytest.raises(TuningError):
+            tune_weight_bank([device], reference, [0.0])

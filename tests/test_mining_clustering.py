@@ -1,0 +1,109 @@
+"""Tests for k-medoids clustering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.mining import (
+    cluster_series,
+    k_medoids,
+    pairwise_distances,
+    rand_index,
+)
+
+
+def blobs(rng, n_per=5, length=12):
+    """Two tight clusters of series."""
+    c0 = np.zeros(length)
+    c1 = np.full(length, 5.0)
+    series = []
+    for _ in range(n_per):
+        series.append(c0 + rng.normal(0, 0.2, length))
+    for _ in range(n_per):
+        series.append(c1 + rng.normal(0, 0.2, length))
+    truth = np.array([0] * n_per + [1] * n_per)
+    return series, truth
+
+
+class TestPairwise:
+    def test_symmetric_zero_diagonal(self, rng):
+        series, _ = blobs(rng, 3)
+        d = pairwise_distances(series, "manhattan")
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_similarity_distance_converted(self, rng):
+        series, _ = blobs(rng, 3)
+        d = pairwise_distances(series, "lcs", threshold=0.5)
+        assert np.all(d >= 0.0)
+        assert np.allclose(np.diag(d), 0.0)
+
+
+class TestKMedoids:
+    def test_recovers_blobs(self, rng):
+        series, truth = blobs(rng)
+        result = cluster_series(series, 2, distance="manhattan")
+        assert rand_index(result.labels, truth) == 1.0
+
+    def test_medoids_are_members(self, rng):
+        series, _ = blobs(rng)
+        result = cluster_series(series, 2, distance="euclidean")
+        assert all(0 <= m < len(series) for m in result.medoid_indices)
+
+    def test_cost_decreases_with_more_clusters(self, rng):
+        series, _ = blobs(rng)
+        d = pairwise_distances(series, "manhattan")
+        c1 = k_medoids(d, 1).cost
+        c2 = k_medoids(d, 2).cost
+        assert c2 < c1
+
+    def test_k_equals_n_zero_cost(self, rng):
+        series, _ = blobs(rng, 2)
+        d = pairwise_distances(series, "manhattan")
+        assert k_medoids(d, len(series)).cost == pytest.approx(0.0)
+
+    def test_invalid_k_rejected(self, rng):
+        series, _ = blobs(rng, 2)
+        d = pairwise_distances(series, "manhattan")
+        with pytest.raises(ConfigurationError):
+            k_medoids(d, 0)
+        with pytest.raises(ConfigurationError):
+            k_medoids(d, len(series) + 1)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DatasetError):
+            k_medoids(np.ones((2, 3)), 1)
+
+    def test_deterministic_given_seed(self, rng):
+        series, _ = blobs(rng)
+        d = pairwise_distances(series, "manhattan")
+        a = k_medoids(d, 2, seed=7)
+        b = k_medoids(d, 2, seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_dtw_clustering_on_warped_data(self, rng):
+        # Clusters differ by shape, instances by time warp — the
+        # elastic-distance use case.
+        t = np.linspace(0, 1, 20)
+        series = []
+        for k in range(4):
+            shift = rng.uniform(-0.08, 0.08)
+            series.append(np.sin(2 * np.pi * (t + shift)))
+        for k in range(4):
+            shift = rng.uniform(-0.08, 0.08)
+            series.append(np.abs(np.sin(2 * np.pi * (t + shift))))
+        truth = np.array([0] * 4 + [1] * 4)
+        result = cluster_series(series, 2, distance="dtw")
+        assert rand_index(result.labels, truth) >= 0.7
+
+
+class TestRandIndex:
+    def test_identical_is_one(self):
+        assert rand_index([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_orthogonal_less_than_one(self):
+        assert rand_index([0, 0, 1, 1], [0, 1, 0, 1]) < 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            rand_index([0, 1], [0, 1, 2])

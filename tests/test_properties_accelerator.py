@@ -1,0 +1,127 @@
+"""Property-based tests: the ideal accelerator IS the software math.
+
+Hypothesis drives random sequences, lengths, weights and thresholds
+through the ideal-chip accelerator and asserts exact agreement with
+the reference implementations — the strongest statement that the block
+graphs implement Eq. (2)-(7) and not an approximation of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import distances as sw
+from repro.accelerator import (
+    AcceleratorParameters,
+    DistanceAccelerator,
+)
+from repro.analog import IDEAL
+
+CHIP = DistanceAccelerator(nonideality=IDEAL, quantise_io=False)
+
+values = st.floats(min_value=-4.0, max_value=4.0, allow_nan=False)
+
+
+def seq(min_size=1, max_size=10):
+    return st.lists(values, min_size=min_size, max_size=max_size)
+
+
+def pair_equal(max_size=10):
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            st.lists(values, min_size=n, max_size=n),
+            st.lists(values, min_size=n, max_size=n),
+        )
+    )
+
+
+class TestIdealChipEqualsSoftware:
+    @given(p=seq(), q=seq())
+    @settings(max_examples=30, deadline=None)
+    def test_dtw(self, p, q):
+        hw = CHIP.compute("dtw", p, q).value
+        assert hw == pytest.approx(sw.dtw(p, q), abs=1e-8)
+
+    @given(p=seq(), q=seq(), thr=st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_lcs(self, p, q, thr):
+        hw = CHIP.compute("lcs", p, q, threshold=thr).value
+        assert hw == pytest.approx(
+            sw.lcs(p, q, threshold=thr), abs=1e-8
+        )
+
+    @given(p=seq(), q=seq(), thr=st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_edit(self, p, q, thr):
+        hw = CHIP.compute("edit", p, q, threshold=thr).value
+        assert hw == pytest.approx(
+            sw.edit(p, q, threshold=thr), abs=1e-8
+        )
+
+    @given(p=seq(), q=seq())
+    @settings(max_examples=30, deadline=None)
+    def test_hausdorff(self, p, q):
+        hw = CHIP.compute("hausdorff", p, q).value
+        assert hw == pytest.approx(sw.hausdorff(p, q), abs=1e-8)
+
+    @given(pq=pair_equal(), thr=st.floats(min_value=0.0, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_hamming(self, pq, thr):
+        p, q = pq
+        hw = CHIP.compute("hamming", p, q, threshold=thr).value
+        assert hw == pytest.approx(
+            sw.hamming(p, q, threshold=thr), abs=1e-8
+        )
+
+    @given(pq=pair_equal())
+    @settings(max_examples=30, deadline=None)
+    def test_manhattan(self, pq):
+        p, q = pq
+        hw = CHIP.compute("manhattan", p, q).value
+        assert hw == pytest.approx(sw.manhattan(p, q), abs=1e-8)
+
+
+class TestWeightedProperties:
+    @given(
+        pq=pair_equal(max_size=6),
+        w=st.lists(
+            st.floats(min_value=0.1, max_value=1.9),
+            min_size=6,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_weighted_manhattan(self, pq, w):
+        p, q = pq
+        w = w[: len(p)]
+        hw = CHIP.compute("manhattan", p, q, weights=w).value
+        assert hw == pytest.approx(
+            sw.manhattan(p, q, weights=w), abs=1e-8
+        )
+
+    @given(pq=pair_equal(max_size=6), scale=st.floats(min_value=0.2, max_value=1.8))
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_weight_scales_dtw(self, pq, scale):
+        p, q = pq
+        hw = CHIP.compute("dtw", p, q, weights=scale).value
+        assert hw == pytest.approx(
+            scale * sw.dtw(p, q), abs=1e-7
+        )
+
+
+class TestTilingProperty:
+    @given(pq=pair_equal(max_size=9))
+    @settings(max_examples=15, deadline=None)
+    def test_tiled_equals_untiled(self, pq):
+        p, q = pq
+        tiny = DistanceAccelerator(
+            params=AcceleratorParameters(array_rows=3, array_cols=3),
+            nonideality=IDEAL,
+            quantise_io=False,
+        )
+        assert tiny.compute("edit", p, q, threshold=0.5).value == (
+            pytest.approx(
+                CHIP.compute("edit", p, q, threshold=0.5).value,
+                abs=1e-7,
+            )
+        )

@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the distance functions.
+
+These check the metric-ish invariants the mining layer relies on and
+cross-implementation consistency, over randomly drawn inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distances import (
+    dtw,
+    dtw_vectorised,
+    edit,
+    euclidean,
+    hamming,
+    hausdorff,
+    lcs,
+    manhattan,
+)
+
+floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+series = st.lists(floats, min_size=1, max_size=12)
+
+
+def equal_pair():
+    """Two equal-length series as one strategy."""
+    return st.integers(min_value=1, max_value=10).flatmap(
+        lambda n: st.tuples(
+            st.lists(floats, min_size=n, max_size=n),
+            st.lists(floats, min_size=n, max_size=n),
+        )
+    )
+
+
+class TestIdentity:
+    @given(p=series)
+    @settings(max_examples=50, deadline=None)
+    def test_self_distance_zero(self, p):
+        assert dtw(p, p) == 0.0
+        assert manhattan(p, p) == 0.0
+        assert hamming(p, p) == 0.0
+        assert euclidean(p, p) == 0.0
+        assert hausdorff(p, p) == 0.0
+        assert edit(p, p) == 0.0
+
+    @given(p=series)
+    @settings(max_examples=50, deadline=None)
+    def test_self_lcs_is_full_length(self, p):
+        assert lcs(p, p) == pytest.approx(len(p))
+
+
+class TestSymmetry:
+    @given(pq=equal_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_functions(self, pq):
+        p, q = pq
+        assert dtw(p, q) == pytest.approx(dtw(q, p))
+        assert manhattan(p, q) == pytest.approx(manhattan(q, p))
+        assert euclidean(p, q) == pytest.approx(euclidean(q, p))
+        assert hamming(p, q) == hamming(q, p)
+        assert lcs(p, q) == pytest.approx(lcs(q, p))
+        assert edit(p, q) == pytest.approx(edit(q, p))
+
+
+class TestNonNegativityAndBounds:
+    @given(pq=equal_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_non_negative(self, pq):
+        p, q = pq
+        for fn in (dtw, manhattan, euclidean, hamming, hausdorff, edit):
+            assert fn(p, q) >= 0.0
+
+    @given(pq=equal_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_hamming_bounded_by_length(self, pq):
+        p, q = pq
+        assert hamming(p, q) <= len(p)
+
+    @given(pq=equal_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_lcs_bounded_by_length(self, pq):
+        p, q = pq
+        assert 0.0 <= lcs(p, q) <= len(p)
+
+    @given(pq=equal_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_edit_bounded_by_max_length(self, pq):
+        p, q = pq
+        assert edit(p, q) <= max(len(p), len(q))
+
+    @given(pq=equal_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_dtw_bounded_by_lockstep(self, pq):
+        # The warping path can always fall back to the diagonal.
+        p, q = pq
+        assert dtw(p, q) <= manhattan(p, q) + 1e-9
+
+    @given(pq=equal_pair())
+    @settings(max_examples=50, deadline=None)
+    def test_hausdorff_bounded_by_range(self, pq):
+        p, q = pq
+        spread = max(max(p) - min(q), max(q) - min(p), 0.0)
+        assert hausdorff(p, q) <= spread + 1e-9
+
+
+class TestCrossImplementation:
+    @given(pq=equal_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_dtw_vectorised_agrees(self, pq):
+        p, q = pq
+        assert dtw_vectorised(p, q) == pytest.approx(
+            dtw(p, q), abs=1e-9
+        )
+
+    @given(pq=equal_pair())
+    @settings(max_examples=40, deadline=None)
+    def test_lcs_edit_duality_on_binary(self, pq):
+        # For sequences over a binary alphabet with unit costs:
+        # EdD <= n + m - 2 LCS (deletion/insertion route bound).
+        p = [float(round(abs(x)) % 2) for x in pq[0]]
+        q = [float(round(abs(x)) % 2) for x in pq[1]]
+        assert edit(p, q) <= len(p) + len(q) - 2 * lcs(p, q) + 1e-9
+
+
+class TestScaleInvariances:
+    @given(pq=equal_pair(), c=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, pq, c):
+        # All six paper distances depend only on differences, so a
+        # common offset leaves them unchanged.
+        p = np.array(pq[0])
+        q = np.array(pq[1])
+        assert dtw(p + c, q + c) == pytest.approx(dtw(p, q), abs=1e-8)
+        assert manhattan(p + c, q + c) == pytest.approx(
+            manhattan(p, q), abs=1e-8
+        )
+        assert hausdorff(p + c, q + c) == pytest.approx(
+            hausdorff(p, q), abs=1e-8
+        )
+
+    @given(pq=equal_pair(), k=st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_positive_scaling_homogeneity(self, pq, k):
+        p = np.array(pq[0])
+        q = np.array(pq[1])
+        assert manhattan(k * p, k * q) == pytest.approx(
+            k * manhattan(p, q), rel=1e-9, abs=1e-8
+        )
+        assert dtw(k * p, k * q) == pytest.approx(
+            k * dtw(p, q), rel=1e-9, abs=1e-8
+        )

@@ -1,0 +1,123 @@
+"""AC small-signal tests: the op-amp macromodel realises Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import (
+    Circuit,
+    ac_analysis,
+    add_opamp,
+    add_parasitics,
+    build_inverting_amplifier,
+    build_subtractor,
+    log_sweep,
+)
+
+
+class TestLogSweep:
+    def test_endpoints(self):
+        f = log_sweep(1e3, 1e6, 10)
+        assert f[0] == pytest.approx(1e3)
+        assert f[-1] == pytest.approx(1e6)
+
+    def test_points_per_decade(self):
+        f = log_sweep(1e3, 1e6, 10)
+        assert f.size == 31
+
+    def test_invalid_range(self):
+        with pytest.raises(NetlistError):
+            log_sweep(1e6, 1e3)
+
+
+class TestRcFilter:
+    def test_corner_frequency(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.0)
+        c.add_resistor("r", "in", "out", 1e3)
+        c.add_capacitor("c", "out", "0", 1e-9)  # fc = 159 kHz
+        res = ac_analysis(
+            c, log_sweep(1e2, 1e8, 20), "vin", record=["out"]
+        )
+        fc = 1.0 / (2 * np.pi * 1e3 * 1e-9)
+        assert res.corner_frequency("out") == pytest.approx(
+            fc, rel=0.05
+        )
+
+    def test_phase_approaches_minus_90(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.0)
+        c.add_resistor("r", "in", "out", 1e3)
+        c.add_capacitor("c", "out", "0", 1e-9)
+        res = ac_analysis(
+            c, np.array([1e9]), "vin", record=["out"]
+        )
+        assert res.phase_deg("out")[0] == pytest.approx(-90.0, abs=2.0)
+
+
+class TestOpAmpTable1:
+    def _open_loop(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.0)
+        add_opamp(c, "op", "in", "0", "out")
+        return ac_analysis(
+            c, log_sweep(1e3, 1e12, 10), "vin", record=["out"]
+        )
+
+    def test_dc_gain_1e4(self):
+        res = self._open_loop()
+        assert res.magnitude("out")[0] == pytest.approx(1e4, rel=1e-3)
+
+    def test_dominant_pole_5mhz(self):
+        res = self._open_loop()
+        assert res.corner_frequency("out") == pytest.approx(
+            5e6, rel=0.02
+        )
+
+    def test_gbw_50ghz(self):
+        res = self._open_loop()
+        assert res.unity_gain_frequency("out") == pytest.approx(
+            50e9, rel=0.02
+        )
+
+    def test_closed_loop_gain_accuracy(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.0)
+        build_inverting_amplifier(c, "a", "in", "out")
+        res = ac_analysis(
+            c, np.array([1e3]), "vin", record=["out"]
+        )
+        assert res.magnitude("out")[0] == pytest.approx(
+            1.0, rel=1e-3
+        )
+
+    def test_closed_loop_bandwidth_far_above_pole(self):
+        # Feedback trades the 1e4 gain for bandwidth: the closed-loop
+        # corner sits orders of magnitude above the 5 MHz open-loop
+        # pole.
+        c = Circuit()
+        c.add_vsource("vp", "p", "0", 0.0)
+        c.add_vsource("vq", "q", "0", 0.0)
+        build_subtractor(c, "s", "p", "q", "out")
+        add_parasitics(c)
+        res = ac_analysis(
+            c, log_sweep(1e5, 1e12, 10), "vp", record=["out"]
+        )
+        assert res.corner_frequency("out") > 100e6
+
+
+class TestRestrictions:
+    def test_nonlinear_elements_rejected(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.0)
+        c.add_diode("d", "in", "out")
+        c.add_resistor("r", "out", "0", 1e3)
+        with pytest.raises(NetlistError, match="linear"):
+            ac_analysis(c, np.array([1e3]), "vin")
+
+    def test_unknown_source_rejected(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.0)
+        c.add_resistor("r", "in", "0", 1e3)
+        with pytest.raises(NetlistError, match="no voltage source"):
+            ac_analysis(c, np.array([1e3]), "nope")

@@ -1,0 +1,175 @@
+"""Tests for the analog building blocks (Fig. 4 primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    Circuit,
+    OpAmpParameters,
+    PAPER_OPAMP,
+    add_parasitics,
+    build_absolute_value,
+    build_buffer,
+    build_diode_max,
+    build_inverting_amplifier,
+    build_subtractor,
+    build_summing_amplifier,
+    dc_operating_point,
+)
+
+
+def _driven(pairs):
+    """Circuit with named voltage-source-driven nodes."""
+    c = Circuit()
+    for node, value in pairs.items():
+        c.add_vsource(f"v_{node}", node, "0", value)
+    return c
+
+
+class TestOpAmpMacromodel:
+    def test_table1_parameters(self):
+        assert PAPER_OPAMP.open_loop_gain == 1e4
+        assert PAPER_OPAMP.gbw_hz == 50e9
+        assert PAPER_OPAMP.pole_frequency_hz == pytest.approx(5e6)
+
+    def test_buffer_follows_input(self):
+        c = _driven({"in": 0.42})
+        build_buffer(c, "b", "in", "out")
+        sol = dc_operating_point(c)
+        # Gain error 1/(1+A0) ~ 1e-4.
+        assert sol["out"] == pytest.approx(0.42, rel=2e-4)
+
+    def test_input_offset_shifts_output(self):
+        c = _driven({"in": 0.1})
+        params = OpAmpParameters(input_offset=5e-3)
+        build_buffer(c, "b", "in", "out", opamp=params)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.105, abs=1e-4)
+
+
+class TestInvertingAmplifier:
+    def test_unity_inversion(self):
+        c = _driven({"in": 0.2})
+        build_inverting_amplifier(c, "amp", "in", "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(-0.2, rel=1e-3)
+
+    def test_gain_from_ratio(self):
+        c = _driven({"in": 0.1})
+        build_inverting_amplifier(
+            c, "amp", "in", "out", r_in=50e3, r_fb=100e3
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(-0.2, rel=1e-3)
+
+
+class TestSubtractor:
+    def test_difference(self):
+        c = _driven({"p": 0.31, "q": 0.13})
+        build_subtractor(c, "s", "p", "q", "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.18, rel=1e-3)
+
+    def test_negative_difference(self):
+        c = _driven({"p": 0.1, "q": 0.3})
+        build_subtractor(c, "s", "p", "q", "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(-0.2, rel=1e-3)
+
+    def test_weighted_difference(self):
+        # r2/r1 = r4/r3 = 0.5 gives 0.5 (P - Q).
+        c = _driven({"p": 0.4, "q": 0.2})
+        build_subtractor(
+            c, "s", "p", "q", "out",
+            r1=100e3, r2=50e3, r3=100e3, r4=50e3,
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.1, rel=1e-3)
+
+    def test_common_mode_rejection(self):
+        c = _driven({"p": 0.45, "q": 0.45})
+        build_subtractor(c, "s", "p", "q", "out")
+        sol = dc_operating_point(c)
+        assert abs(sol["out"]) < 1e-3
+
+
+class TestSummingAmplifier:
+    def test_sum_of_three(self):
+        c = _driven({"a": 0.05, "b": 0.10, "e": 0.15})
+        build_summing_amplifier(c, "s", ["a", "b", "e"], "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(-0.30, rel=1e-3)
+
+    def test_weighted_inputs(self):
+        c = _driven({"a": 0.1, "b": 0.1})
+        build_summing_amplifier(
+            c, "s", ["a", "b"], "out",
+            input_resistances=[50e3, 100e3],
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(-0.3, rel=1e-3)
+
+    def test_mismatched_resistances_rejected(self):
+        from repro.errors import ConfigurationError
+
+        c = _driven({"a": 0.1})
+        with pytest.raises(ConfigurationError):
+            build_summing_amplifier(
+                c, "s", ["a"], "out", input_resistances=[1e3, 1e3]
+            )
+
+
+class TestDiodeMax:
+    def test_selects_maximum(self):
+        c = _driven({"a": 0.12, "b": 0.33, "e": 0.21})
+        build_diode_max(c, "m", ["a", "b", "e"], "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.33, abs=2e-3)
+
+    def test_two_way_max(self):
+        c = _driven({"a": -0.05, "b": 0.02})
+        build_diode_max(c, "m", ["a", "b"], "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.02, abs=2e-3)
+
+
+class TestAbsoluteValue:
+    @pytest.mark.parametrize(
+        "p,q", [(0.3, 0.1), (0.1, 0.3), (0.25, 0.25), (-0.1, 0.2)]
+    )
+    def test_absolute_difference(self, p, q):
+        c = _driven({"p": p, "q": q})
+        build_absolute_value(c, "abs", "p", "q", "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(abs(p - q), abs=3e-3)
+
+    def test_weighted_absolute_value(self):
+        c = _driven({"p": 0.3, "q": 0.1})
+        build_absolute_value(c, "abs", "p", "q", "out", weight=0.5)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.1, abs=3e-3)
+
+    def test_weight_range_enforced(self):
+        from repro.errors import ConfigurationError
+
+        c = _driven({"p": 0.1, "q": 0.1})
+        with pytest.raises(ConfigurationError):
+            build_absolute_value(c, "abs", "p", "q", "out", weight=2.5)
+
+
+class TestParasitics:
+    def test_parasitics_added_to_layout_nets(self):
+        c = _driven({"p": 0.1, "q": 0.2})
+        build_subtractor(c, "s", "p", "q", "out")
+        before = len(c.capacitors)
+        count = add_parasitics(c)
+        assert count > 0
+        assert len(c.capacitors) == before + count
+
+    def test_macromodel_internals_skipped(self):
+        c = _driven({"in": 0.1})
+        build_buffer(c, "b", "in", "out")
+        add_parasitics(c)
+        for cap in c.capacitors:
+            if cap.name.startswith("cpar_"):
+                assert not cap.n1.endswith("_p1")

@@ -1,0 +1,114 @@
+"""DC operating-point tests: textbook circuits with known answers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit, dc_operating_point
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 1.0)
+        c.add_resistor("r1", "in", "mid", 2e3)
+        c.add_resistor("r2", "mid", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["mid"] == pytest.approx(1.0 / 3.0, rel=1e-6)
+
+    def test_source_current(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 2.0)
+        c.add_resistor("r", "in", "0", 1e3)
+        sol = dc_operating_point(c)
+        # Current flows out of the + terminal through R: -2 mA into n+.
+        assert sol.source_current("vin") == pytest.approx(
+            -2e-3, rel=1e-6
+        )
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_isource("i1", "0", "a", 1e-3)  # 1 mA into node a
+        c.add_resistor("r", "a", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["a"] == pytest.approx(1.0, rel=1e-5)
+
+    def test_vcvs_gain(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.1)
+        c.add_vcvs("e1", "out", "0", "in", "0", 10.0)
+        c.add_resistor("rl", "out", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(1.0, rel=1e-9)
+
+    def test_superposition_two_sources(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", "0", 1.0)
+        c.add_vsource("v2", "b", "0", 2.0)
+        c.add_resistor("r1", "a", "x", 1e3)
+        c.add_resistor("r2", "b", "x", 1e3)
+        c.add_resistor("r3", "x", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["x"] == pytest.approx(1.0, rel=1e-6)
+
+    def test_memristor_acts_as_resistor(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 1.0)
+        c.add_memristor("m1", "in", "mid", resistance=1e3)
+        c.add_resistor("r2", "mid", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol["mid"] == pytest.approx(0.5, rel=1e-4)
+
+    def test_voltage_differential_reader(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", "0", 0.7)
+        c.add_vsource("v2", "b", "0", 0.2)
+        sol = dc_operating_point(c)
+        assert sol.voltage("a", "b") == pytest.approx(0.5)
+
+    def test_unknown_node_raises(self):
+        c = Circuit()
+        c.add_vsource("v", "a", "0", 1.0)
+        c.add_resistor("r", "a", "0", 1e3)
+        sol = dc_operating_point(c)
+        with pytest.raises(NetlistError):
+            sol["nonexistent"]
+
+
+class TestDiodes:
+    def test_forward_diode_conducts(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.5)
+        c.add_diode("d", "in", "out")
+        c.add_resistor("rl", "out", "0", 10e3)
+        sol = dc_operating_point(c)
+        # Near-ideal diode: output pulls close to the input.
+        assert sol["out"] == pytest.approx(0.5, abs=2e-3)
+
+    def test_reverse_diode_blocks(self):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", -0.5)
+        c.add_diode("d", "in", "out")
+        c.add_resistor("rl", "out", "0", 10e3)
+        sol = dc_operating_point(c)
+        assert abs(sol["out"]) < 1e-3
+
+    def test_diode_or_selects_maximum(self):
+        c = Circuit()
+        for name, v in (("a", 0.2), ("b", 0.45), ("c", 0.1)):
+            c.add_vsource(f"v_{name}", name, "0", v)
+            c.add_diode(f"d_{name}", name, "out")
+        c.add_resistor("rpd", "out", "0", 10e3)
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.45, abs=2e-3)
+
+    def test_losing_diodes_carry_no_current(self):
+        c = Circuit()
+        c.add_vsource("va", "a", "0", 0.1)
+        c.add_vsource("vb", "b", "0", 0.4)
+        c.add_diode("da", "a", "out")
+        c.add_diode("db", "b", "out")
+        c.add_resistor("rpd", "out", "0", 10e3)
+        sol = dc_operating_point(c)
+        # The losing source should supply ~zero current.
+        assert abs(sol.source_current("va")) < 1e-7

@@ -1,0 +1,78 @@
+"""Tests for the complete live EdD PE (Fig. 2(c) in the MNA engine)."""
+
+import pytest
+
+from repro.spice import Circuit, dc_operating_point
+from repro.spice.pe_circuits import build_edit_pe_live
+
+
+def run_pe(
+    p,
+    q,
+    e_diag=0.03,
+    e_left=0.05,
+    e_up=0.04,
+    threshold=0.02,
+    v_step=0.01,
+):
+    c = Circuit()
+    rails = {"p": p, "q": q, "ed": e_diag, "el": e_left, "eu": e_up}
+    for node, v in rails.items():
+        c.add_vsource(f"v_{node}", node, "0", v)
+    build_edit_pe_live(
+        c, "pe", "p", "q", "ed", "el", "eu", "out",
+        v_threshold=threshold, v_step=v_step,
+    )
+    return dc_operating_point(c)["out"]
+
+
+class TestEditPeLive:
+    def test_match_free_diagonal(self):
+        # |P-Q| = 5 mV <= 20 mV: E = min(0.06, 0.05, 0.03) = E_diag.
+        assert run_pe(0.10, 0.105) == pytest.approx(0.03, abs=2e-3)
+
+    def test_mismatch_charged_diagonal(self):
+        # |P-Q| = 60 mV: E = min(0.06, 0.05, 0.04) = E_diag + Vstep.
+        assert run_pe(0.10, 0.16) == pytest.approx(0.04, abs=2e-3)
+
+    def test_delete_path_can_win(self):
+        # Cheap left neighbour: E = E_left + Vstep.
+        out = run_pe(0.10, 0.16, e_diag=0.08, e_left=0.01, e_up=0.07)
+        assert out == pytest.approx(0.02, abs=2e-3)
+
+    def test_insert_path_can_win(self):
+        out = run_pe(0.10, 0.16, e_diag=0.08, e_left=0.07, e_up=0.015)
+        assert out == pytest.approx(0.025, abs=2e-3)
+
+    def test_matches_eq4_recurrence(self):
+        # Exhaustively compare against the software cell update for a
+        # grid of neighbour values and both decisions.
+        cases = [
+            (0.10, 0.105, 0.02, 0.03, 0.025),
+            (0.10, 0.16, 0.02, 0.03, 0.025),
+            (0.05, 0.05, 0.06, 0.02, 0.04),
+            (0.05, 0.11, 0.01, 0.05, 0.05),
+        ]
+        v_step = 0.01
+        threshold = 0.02
+        for p, q, ed, el, eu in cases:
+            match = abs(p - q) <= threshold
+            expected = min(
+                el + v_step,
+                eu + v_step,
+                ed + (0.0 if match else v_step),
+            )
+            measured = run_pe(
+                p, q, e_diag=ed, e_left=el, e_up=eu,
+                threshold=threshold, v_step=v_step,
+            )
+            assert measured == pytest.approx(expected, abs=3e-3), (
+                p, q, ed, el, eu,
+            )
+
+    def test_output_below_half_vcc_allowed(self):
+        # The Section 3.2.3 buffer exists so the output can fall below
+        # Vcc/2; verify a sub-Vcc/2 result is produced correctly.
+        out = run_pe(0.10, 0.105, e_diag=0.005)
+        assert out == pytest.approx(0.005, abs=2e-3)
+        assert out < 0.5

@@ -1,0 +1,77 @@
+"""Tests for the SPICE-deck emitter."""
+
+import pytest
+
+from repro.spice import (
+    Circuit,
+    build_subtractor,
+    netlist_to_spice,
+    write_spice_deck,
+)
+
+
+def demo_circuit() -> Circuit:
+    c = Circuit("demo")
+    c.add_vsource("vin", "in", "0", 0.5)
+    c.add_resistor("r1", "in", "mid", 1e3)
+    c.add_capacitor("c1", "mid", "0", 1e-12, ic=0.1)
+    c.add_diode("d1", "mid", "out")
+    c.add_resistor("r2", "out", "0", 10e3)
+    c.add_memristor("m1", "out", "0", resistance=50e3)
+    c.add_comparator("k1", "flag", "mid", "out", v_high=1.0)
+    c.add_vswitch("s1", "in", "bypass", "flag")
+    return c
+
+
+class TestEmitter:
+    def test_header_and_end(self):
+        deck = netlist_to_spice(demo_circuit(), title="my deck")
+        assert deck.startswith("* my deck")
+        assert deck.rstrip().endswith(".end")
+
+    def test_every_element_emitted(self):
+        deck = netlist_to_spice(demo_circuit())
+        for token in (
+            "Rr1 in mid 1000",
+            "Cc1 mid 0 1e-12 IC=0.1",
+            "Vvin in 0 DC 0.5",
+            "Dd1 mid out dideal",
+            "Rm1 out 0 50000 ; memristor",
+            "Bk1 flag 0",
+            "Ss1 in bypass flag 0 tgsw",
+        ):
+            assert token in deck, token
+
+    def test_models_emitted_once(self):
+        deck = netlist_to_spice(demo_circuit())
+        assert deck.count(".model dideal") == 1
+        assert deck.count(".model tgsw") == 1
+
+    def test_ground_aliases_normalised(self):
+        c = Circuit()
+        c.add_resistor("r", "a", "gnd", 1e3)
+        deck = netlist_to_spice(c)
+        assert "Rr a 0 1000" in deck
+
+    def test_time_dependent_source_exports_step_level(self):
+        c = Circuit()
+        c.add_vsource(
+            "vin", "a", "0", lambda t: 0.3 if t > 0 else 0.0
+        )
+        c.add_resistor("r", "a", "0", 1e3)
+        deck = netlist_to_spice(c)
+        assert "Vvin a 0 DC 0.3" in deck
+
+    def test_subcircuit_blocks_exportable(self):
+        c = Circuit()
+        c.add_vsource("vp", "p", "0", 0.2)
+        c.add_vsource("vq", "q", "0", 0.1)
+        build_subtractor(c, "s", "p", "q", "out")
+        deck = netlist_to_spice(c)
+        assert "Es_gain" in deck  # the op-amp macromodel's E element
+        assert ".end" in deck
+
+    def test_write_to_file(self, tmp_path):
+        path = tmp_path / "demo.cir"
+        write_spice_deck(demo_circuit(), path, title="t")
+        assert path.read_text().startswith("* t")

@@ -1,0 +1,75 @@
+"""Tests for the SPICE netlist layer."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice import Circuit
+
+
+class TestNodes:
+    def test_ground_aliases(self):
+        assert Circuit.is_ground("0")
+        assert Circuit.is_ground("gnd")
+        assert Circuit.is_ground("GND")
+        assert not Circuit.is_ground("out")
+
+    def test_ground_not_counted(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "0", 1e3)
+        assert c.num_nodes == 1
+        assert c.nodes == ["a"]
+
+    def test_node_indices_stable(self):
+        c = Circuit()
+        c.add_resistor("r1", "a", "b", 1e3)
+        c.add_resistor("r2", "b", "c", 1e3)
+        assert c.node_index("a") == 0
+        assert c.node_index("b") == 1
+        assert c.node_index("c") == 2
+
+
+class TestElementRegistration:
+    def test_duplicate_name_rejected(self):
+        c = Circuit()
+        c.add_resistor("x", "a", "0", 1e3)
+        with pytest.raises(NetlistError, match="duplicate"):
+            c.add_capacitor("x", "a", "0", 1e-12)
+
+    def test_non_positive_resistor_rejected(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.add_resistor("r", "a", "0", 0.0)
+
+    def test_non_positive_capacitor_rejected(self):
+        c = Circuit()
+        with pytest.raises(NetlistError):
+            c.add_capacitor("c", "a", "0", -1e-12)
+
+    def test_switch_resistance_follows_state(self):
+        c = Circuit()
+        s = c.add_switch("s", "a", "b", closed=True)
+        assert s.resistance == s.r_on
+        s.closed = False
+        assert s.resistance == s.r_off
+
+    def test_memristor_default_device(self):
+        c = Circuit()
+        m = c.add_memristor("m", "a", "0", resistance=50e3)
+        assert m.device.resistance == pytest.approx(50e3)
+
+    def test_vsource_index_lookup(self):
+        c = Circuit()
+        c.add_vsource("v1", "a", "0", 1.0)
+        c.add_vsource("v2", "b", "0", 2.0)
+        assert c.vsource_index("v2") == 1
+        with pytest.raises(NetlistError):
+            c.vsource_index("v3")
+
+    def test_summary_counts(self):
+        c = Circuit("demo")
+        c.add_resistor("r", "a", "0", 1e3)
+        c.add_vsource("v", "a", "0", 1.0)
+        c.add_diode("d", "a", "b")
+        text = c.summary()
+        assert "demo" in text
+        assert "1R" in text and "1V" in text and "1D" in text

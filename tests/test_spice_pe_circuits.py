@@ -1,0 +1,140 @@
+"""Tests for the element-level PE circuits (Fig. 2 in the SPICE engine)."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, dc_operating_point
+from repro.spice.pe_circuits import (
+    build_comparator_stage,
+    build_dtw_pe,
+    build_hamming_pe,
+    build_lcs_pe,
+    build_manhattan_pe,
+)
+
+
+def _driven(pairs):
+    c = Circuit()
+    for node, value in pairs.items():
+        c.add_vsource(f"v_{node}", node, "0", value)
+    return c
+
+
+class TestDtwPe:
+    @pytest.mark.parametrize(
+        "p,q,neighbours",
+        [
+            (0.06, 0.02, (0.05, 0.09, 0.03)),
+            (0.01, 0.08, (0.12, 0.04, 0.20)),
+            (0.05, 0.05, (0.10, 0.10, 0.02)),
+        ],
+    )
+    def test_eq8_minimum_module(self, p, q, neighbours):
+        c = _driven(
+            {"p": p, "q": q, "d0": neighbours[0], "d1": neighbours[1],
+             "d2": neighbours[2]}
+        )
+        build_dtw_pe(c, "pe", "p", "q", ["d0", "d1", "d2"], "out")
+        sol = dc_operating_point(c)
+        expected = abs(p - q) + min(neighbours)
+        assert sol["out"] == pytest.approx(expected, abs=5e-3)
+
+    def test_weighted_pe(self):
+        c = _driven({"p": 0.08, "q": 0.02, "d0": 0.05, "d1": 0.06,
+                     "d2": 0.07})
+        build_dtw_pe(
+            c, "pe", "p", "q", ["d0", "d1", "d2"], "out", weight=0.5
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.5 * 0.06 + 0.05, abs=5e-3)
+
+    def test_wrong_neighbour_count(self):
+        from repro.errors import ConfigurationError
+
+        c = _driven({"p": 0.1, "q": 0.1, "d0": 0.1})
+        with pytest.raises(ConfigurationError):
+            build_dtw_pe(c, "pe", "p", "q", ["d0"], "out")
+
+
+class TestComparatorStage:
+    def test_differ_outputs_high(self):
+        c = _driven({"p": 0.10, "q": 0.04})
+        build_comparator_stage(
+            c, "st", "p", "q", "out", v_threshold=0.02, v_high=0.5
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.5, abs=0.02)
+
+    def test_match_outputs_low(self):
+        c = _driven({"p": 0.10, "q": 0.095})
+        build_comparator_stage(
+            c, "st", "p", "q", "out", v_threshold=0.02, v_high=0.5
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.0, abs=0.02)
+
+
+class TestHammingManhattanPe:
+    def test_hamming_pe_vstep_rail(self):
+        c = _driven({"p": 0.10, "q": 0.02})
+        build_hamming_pe(
+            c, "pe", "p", "q", "out", v_threshold=0.01, v_step=0.01
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.01, abs=1e-3)
+
+    def test_manhattan_pe_absolute(self):
+        c = _driven({"p": 0.03, "q": 0.09})
+        build_manhattan_pe(c, "pe", "p", "q", "out")
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.06, abs=3e-3)
+
+
+class TestLcsPe:
+    def test_match_path(self):
+        c = _driven({"ld": 0.04, "ll": 0.07, "lu": 0.02})
+        build_lcs_pe(
+            c, "pe", "ld", "ll", "lu", "out", v_step=0.01, match=True
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.05, abs=3e-3)
+
+    def test_mismatch_path(self):
+        c = _driven({"ld": 0.04, "ll": 0.07, "lu": 0.02})
+        build_lcs_pe(
+            c, "pe", "ld", "ll", "lu", "out", v_step=0.01, match=False
+        )
+        sol = dc_operating_point(c)
+        assert sol["out"] == pytest.approx(0.07, abs=3e-3)
+
+
+class TestAgainstBehaviouralModel:
+    def test_dtw_pe_matches_analog_block_composition(self):
+        # The same PE in both simulators must agree to millivolts.
+        from repro.analog import BlockGraph, dc_solve
+        from repro.analog.nonideal import NonidealityModel
+
+        p, q = 0.07, 0.02
+        neighbours = (0.06, 0.11, 0.04)
+        c = _driven(
+            {"p": p, "q": q, "d0": neighbours[0], "d1": neighbours[1],
+             "d2": neighbours[2]}
+        )
+        build_dtw_pe(c, "pe", "p", "q", ["d0", "d1", "d2"], "out")
+        spice_v = dc_operating_point(c)["out"]
+
+        matched = NonidealityModel(
+            open_loop_gain=1e4,
+            offset_sigma=0.0,
+            diode_drop=2e-4,
+            comparator_offset_sigma=0.0,
+            weight_tolerance=0.0,
+        )
+        g = BlockGraph(nonideality=matched)
+        pa, qa = g.const(p), g.const(q)
+        ns = [g.const(v) for v in neighbours]
+        cost = g.absdiff(pa, qa)
+        best = g.minimum(ns)
+        cell = g.lin([(cost, 1.0), (best, 1.0)])
+        analog_v = dc_solve(g)[cell]
+        assert analog_v == pytest.approx(spice_v, abs=5e-3)

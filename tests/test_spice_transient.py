@@ -1,0 +1,106 @@
+"""Transient-analysis tests: RC dynamics, settling, memristor drift."""
+
+import numpy as np
+import pytest
+
+from repro.memristor import BiolekMemristor
+from repro.spice import (
+    Circuit,
+    add_parasitics,
+    build_subtractor,
+    transient,
+)
+
+
+class TestRcStep:
+    def _rc(self, r=1e3, c_val=1e-9):
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", lambda t: 1.0 if t > 0 else 0.0)
+        c.add_resistor("r", "in", "out", r)
+        c.add_capacitor("c", "out", "0", c_val)
+        return c
+
+    def test_final_value(self):
+        result = transient(self._rc(), t_stop=10e-6, dt=10e-9, record=["out"])
+        assert result.final("out") == pytest.approx(1.0, rel=1e-3)
+
+    def test_one_tau_point(self):
+        # V(tau) = 1 - 1/e for an RC step.
+        result = transient(
+            self._rc(), t_stop=5e-6, dt=5e-9, record=["out"]
+        )
+        tau = 1e-6
+        idx = int(np.argmin(np.abs(result.time - tau)))
+        assert result["out"][idx] == pytest.approx(
+            1.0 - np.exp(-1.0), abs=0.01
+        )
+
+    def test_settling_time_about_seven_tau(self):
+        result = transient(
+            self._rc(), t_stop=15e-6, dt=5e-9, record=["out"]
+        )
+        settle = result.settling_time("out", tolerance=1e-3)
+        # ln(1000) ~ 6.9 tau.
+        assert 5e-6 < settle < 9e-6
+
+    def test_initial_condition_respected(self):
+        c = Circuit()
+        c.add_resistor("r", "a", "0", 1e3)
+        c.add_capacitor("c", "a", "0", 1e-9, ic=1.0)
+        result = transient(c, t_stop=12e-6, dt=5e-9, record=["a"])
+        assert result["a"][0] == pytest.approx(0.0)  # sampled pre-step
+        assert result["a"][1] == pytest.approx(1.0, abs=0.05)
+        # 12 tau of decay: e^-12 ~ 6e-6.
+        assert result.final("a") == pytest.approx(0.0, abs=1e-4)
+
+
+class TestOpAmpSettling:
+    def test_subtractor_settles_nanoseconds_with_parasitics(self):
+        # Table 1 conditions: 20 fF per net on ~100 kOhm networks give
+        # the nanosecond-scale settling the paper reports.
+        c = Circuit()
+        c.add_vsource(
+            "vp", "p", "0", lambda t: 0.3 if t > 0 else 0.0
+        )
+        c.add_vsource("vq", "q", "0", 0.1)
+        build_subtractor(c, "s", "p", "q", "out")
+        add_parasitics(c)
+        result = transient(c, t_stop=20e-9, dt=20e-12, record=["out"])
+        assert result.final("out") == pytest.approx(0.2, rel=1e-3)
+        settle = result.settling_time("out", tolerance=1e-3)
+        assert 0.5e-9 < settle < 10e-9
+
+    def test_from_dc_starts_settled(self):
+        c = Circuit()
+        c.add_vsource("vp", "p", "0", 0.3)
+        c.add_vsource("vq", "q", "0", 0.1)
+        build_subtractor(c, "s", "p", "q", "out")
+        add_parasitics(c)
+        result = transient(
+            c, t_stop=2e-9, dt=20e-12, record=["out"], from_dc=True
+        )
+        assert result["out"][0] == pytest.approx(0.2, rel=1e-3)
+        assert result.final("out") == pytest.approx(0.2, rel=1e-3)
+
+
+class TestMemristorTransient:
+    def test_sub_threshold_compute_no_drift(self):
+        # Section 4.2's claim at circuit level: a memristor carrying
+        # compute-scale voltage for nanoseconds does not move.
+        device = BiolekMemristor(x=0.5)
+        r0 = device.resistance
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 0.25)
+        c.add_memristor("m", "in", "mid", device=device)
+        c.add_resistor("r", "mid", "0", 50e3)
+        transient(c, t_stop=50e-9, dt=0.5e-9)
+        assert device.resistance == pytest.approx(r0, rel=1e-6)
+
+    def test_strong_slow_drive_does_drift(self):
+        device = BiolekMemristor(x=0.5)
+        r0 = device.resistance
+        c = Circuit()
+        c.add_vsource("vin", "in", "0", 2.0)
+        c.add_memristor("m", "in", "0", device=device)
+        transient(c, t_stop=1e-3, dt=1e-5)
+        assert device.resistance != pytest.approx(r0, rel=1e-6)

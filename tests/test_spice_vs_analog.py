@@ -1,0 +1,117 @@
+"""Cross-validation: the behavioural analog model vs the SPICE engine.
+
+The behavioural simulator's whole claim to validity is that each of its
+block types reproduces the corresponding SPICE-level circuit.  These
+tests build the same stage both ways and compare DC transfer and
+settling behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    BlockGraph,
+    NonidealityModel,
+    TimingModel,
+    dc_solve,
+    measure_convergence,
+)
+from repro.spice import (
+    Circuit,
+    add_parasitics,
+    build_absolute_value,
+    build_diode_max,
+    build_subtractor,
+    dc_operating_point,
+    transient,
+)
+
+#: Behavioural model configured to the same physics as the SPICE
+#: blocks: finite gain 1e4, no random offsets (SPICE models none).
+MATCHED = NonidealityModel(
+    open_loop_gain=1.0e4,
+    offset_sigma=0.0,
+    diode_drop=2.0e-4,
+    comparator_offset_sigma=0.0,
+    weight_tolerance=0.0,
+)
+
+
+class TestDcTransferAgreement:
+    @pytest.mark.parametrize("p,q", [(0.30, 0.12), (0.05, 0.21)])
+    def test_subtractor(self, p, q):
+        circuit = Circuit()
+        circuit.add_vsource("vp", "p", "0", p)
+        circuit.add_vsource("vq", "q", "0", q)
+        build_subtractor(circuit, "s", "p", "q", "out")
+        spice_v = dc_operating_point(circuit)["out"]
+
+        graph = BlockGraph(nonideality=MATCHED)
+        a, b = graph.const(p), graph.const(q)
+        s = graph.lin([(a, 1.0), (b, -1.0)])
+        analog_v = dc_solve(graph)[s]
+        assert analog_v == pytest.approx(spice_v, abs=5e-4)
+
+    @pytest.mark.parametrize("p,q", [(0.10, 0.34), (0.25, 0.05)])
+    def test_absolute_value(self, p, q):
+        circuit = Circuit()
+        circuit.add_vsource("vp", "p", "0", p)
+        circuit.add_vsource("vq", "q", "0", q)
+        build_absolute_value(circuit, "abs", "p", "q", "out")
+        spice_v = dc_operating_point(circuit)["out"]
+
+        graph = BlockGraph(nonideality=MATCHED)
+        a, b = graph.const(p), graph.const(q)
+        d = graph.absdiff(a, b)
+        analog_v = dc_solve(graph)[d]
+        assert analog_v == pytest.approx(spice_v, abs=3e-3)
+
+    def test_diode_max(self):
+        values = (0.12, 0.41, 0.33)
+        circuit = Circuit()
+        for k, v in enumerate(values):
+            circuit.add_vsource(f"v{k}", f"n{k}", "0", v)
+        build_diode_max(
+            circuit, "m", [f"n{k}" for k in range(3)], "out"
+        )
+        spice_v = dc_operating_point(circuit)["out"]
+
+        graph = BlockGraph(nonideality=MATCHED)
+        ids = [graph.const(v) for v in values]
+        m = graph.maximum(ids)
+        analog_v = dc_solve(graph)[m]
+        assert analog_v == pytest.approx(spice_v, abs=1e-3)
+
+
+class TestSettlingAgreement:
+    def test_subtractor_settling_same_order(self):
+        # SPICE: 20 fF parasitics on the 100 kOhm feedback network.
+        circuit = Circuit()
+        circuit.add_vsource(
+            "vp", "p", "0", lambda t: 0.3 if t > 0 else 0.0
+        )
+        circuit.add_vsource("vq", "q", "0", 0.1)
+        build_subtractor(circuit, "s", "p", "q", "out")
+        add_parasitics(circuit)
+        spice_result = transient(
+            circuit, t_stop=20e-9, dt=20e-12, record=["out"]
+        )
+        spice_settle = spice_result.settling_time("out", 1e-3)
+
+        graph = BlockGraph(nonideality=MATCHED)
+        a, b = graph.const(0.3), graph.const(0.1)
+        s = graph.lin([(a, 1.0), (b, -1.0)])
+        graph.mark_output("out", s)
+        analog_settle, _ = measure_convergence(graph, "out")
+
+        # Same order of magnitude (within 4x): both nanosecond-scale.
+        ratio = spice_settle / analog_settle
+        assert 0.25 < ratio < 4.0
+
+    def test_timing_model_tau_matches_spice_rc(self):
+        # The behavioural tau (r_network * c_par) should match the
+        # SPICE feedback-network Thevenin RC within a small factor.
+        timing = TimingModel()
+        tau = timing.opamp_tau(2.0)
+        # 50 kOhm Thevenin x 20 fF = 1 ns.
+        assert tau == pytest.approx(1.0e-9, rel=0.1)

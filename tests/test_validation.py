@@ -1,0 +1,144 @@
+"""Tests for repro.validation — the API-boundary input checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    LengthMismatchError,
+    SequenceError,
+    WeightShapeError,
+)
+from repro.validation import (
+    as_positive_float,
+    as_non_negative_float,
+    as_sequence,
+    as_weight_matrix,
+    as_weight_vector,
+    require_same_length,
+    resolve_band,
+)
+
+
+class TestAsSequence:
+    def test_list_coerced_to_float64(self):
+        out = as_sequence([1, 2, 3])
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_copy_is_contiguous(self):
+        arr = np.arange(10.0)[::2]
+        assert as_sequence(arr).flags["C_CONTIGUOUS"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SequenceError, match="non-empty"):
+            as_sequence([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(SequenceError, match="one-dimensional"):
+            as_sequence([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(SequenceError, match="NaN"):
+            as_sequence([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(SequenceError, match="NaN or infinite"):
+            as_sequence([1.0, np.inf])
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(SequenceError, match="myseq"):
+            as_sequence([], name="myseq")
+
+
+class TestRequireSameLength:
+    def test_equal_ok(self):
+        p = as_sequence([1.0, 2.0])
+        require_same_length(p, p)
+
+    def test_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError, match="3 != 2"):
+            require_same_length(
+                as_sequence([1, 2, 3]), as_sequence([1, 2])
+            )
+
+
+class TestWeightVector:
+    def test_none_gives_ones(self):
+        np.testing.assert_array_equal(
+            as_weight_vector(None, 4), np.ones(4)
+        )
+
+    def test_scalar_broadcasts(self):
+        np.testing.assert_array_equal(
+            as_weight_vector(2.0, 3), [2.0, 2.0, 2.0]
+        )
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(WeightShapeError):
+            as_weight_vector([1.0, 2.0], 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(WeightShapeError, match="non-negative"):
+            as_weight_vector([1.0, -1.0], 2)
+
+    def test_nan_raises(self):
+        with pytest.raises(WeightShapeError):
+            as_weight_vector([1.0, np.nan], 2)
+
+
+class TestWeightMatrix:
+    def test_none_gives_ones(self):
+        np.testing.assert_array_equal(
+            as_weight_matrix(None, 2, 3), np.ones((2, 3))
+        )
+
+    def test_scalar_broadcasts(self):
+        out = as_weight_matrix(0.5, 2, 2)
+        np.testing.assert_array_equal(out, np.full((2, 2), 0.5))
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(WeightShapeError, match=r"\(2, 3\)"):
+            as_weight_matrix(np.ones((3, 2)), 2, 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(WeightShapeError):
+            as_weight_matrix(-np.ones((2, 2)), 2, 2)
+
+
+class TestScalars:
+    def test_positive_ok(self):
+        assert as_positive_float(2, "x") == 2.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, np.nan, np.inf])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(SequenceError):
+            as_positive_float(bad, "x")
+
+    def test_non_negative_allows_zero(self):
+        assert as_non_negative_float(0.0, "x") == 0.0
+
+    def test_non_negative_rejects_negative(self):
+        with pytest.raises(SequenceError):
+            as_non_negative_float(-0.1, "x")
+
+
+class TestResolveBand:
+    def test_none_is_unconstrained(self):
+        assert resolve_band(None, 10, 20) == 20
+
+    def test_fraction_of_longer_length(self):
+        assert resolve_band(0.05, 40, 40) == 2
+
+    def test_fraction_floors_at_one(self):
+        assert resolve_band(0.01, 10, 10) == 1
+
+    def test_integer_passthrough(self):
+        assert resolve_band(3, 40, 40) == 3
+
+    def test_float_one_is_fraction(self):
+        # 1.0 is interpreted as the full-length fraction.
+        assert resolve_band(1.0, 10, 10) == 10
+
+    def test_negative_raises(self):
+        with pytest.raises(SequenceError):
+            resolve_band(-1, 10, 10)
