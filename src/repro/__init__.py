@@ -16,6 +16,10 @@ Layered architecture (bottom up):
   data-mining tasks the paper motivates.
 * :mod:`repro.baselines`, :mod:`repro.eval` — CPU/literature baselines
   and the per-figure experiment harness.
+* :mod:`repro.backends` — the :class:`~repro.backends.DistanceBackend`
+  protocol unifying software, single-chip and pooled execution.
+* :mod:`repro.serving` — the data-center serving layer: a sharded
+  accelerator pool with dynamic batching, caching and metrics.
 """
 
 __version__ = "1.0.0"
@@ -23,6 +27,7 @@ __version__ = "1.0.0"
 from . import (  # noqa: F401
     accelerator,
     analog,
+    backends,
     baselines,
     datacenter,
     datasets,
@@ -31,14 +36,29 @@ from . import (  # noqa: F401
     eval,
     memristor,
     mining,
+    serving,
     spice,
     validation,
 )
+from .backends import (  # noqa: F401
+    AcceleratorBackend,
+    DistanceBackend,
+    SoftwareBackend,
+    resolve_backend,
+)
+from .serving import AcceleratorPool, PoolBackend, PoolConfig  # noqa: F401
 
 __all__ = [
     "__version__",
+    "AcceleratorBackend",
+    "AcceleratorPool",
+    "DistanceBackend",
+    "PoolBackend",
+    "PoolConfig",
+    "SoftwareBackend",
     "accelerator",
     "analog",
+    "backends",
     "baselines",
     "datacenter",
     "datasets",
@@ -47,6 +67,8 @@ __all__ = [
     "eval",
     "memristor",
     "mining",
+    "resolve_backend",
+    "serving",
     "spice",
     "validation",
 ]

@@ -16,7 +16,7 @@ result.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from ..validation import (
     as_weight_vector,
     require_same_length,
 )
+from .batch import BatchResult
 from .configurations import FunctionConfig, get_config
 from .dac_adc import AdcArray, DacArray
 from .params import AcceleratorParameters, PAPER_PARAMS
@@ -244,6 +245,194 @@ class DistanceAccelerator:
 
         fn.__name__ = f"accelerated_{function}"
         return fn
+
+    # -- row-structure batching ------------------------------------------------
+    def batch(
+        self,
+        function: str,
+        query,
+        candidates: Sequence,
+        weights=None,
+        threshold: float = 0.0,
+        measure_time: bool = False,
+    ) -> BatchResult:
+        """Distances from ``query`` to every candidate, batched by rows.
+
+        All candidates must share the query's length (row structure).
+        Up to ``array_rows`` candidates settle per pass; more
+        candidates cost additional passes (counted in ``passes`` and
+        the time model).
+        """
+        config = self._require_row_config(function)
+        if len(candidates) == 0:
+            raise ConfigurationError("no candidates")
+        q_arr = as_sequence(query, "query")
+        n = q_arr.shape[0]
+        pairs = []
+        for k, c in enumerate(candidates):
+            arr = as_sequence(c, f"candidates[{k}]")
+            require_same_length(q_arr, arr)
+            pairs.append((q_arr, arr))
+        w = as_weight_vector(weights, n)
+        # The query loads once; every candidate loads its own row.
+        dac_samples = n * (1 + len(pairs))
+        return self._batch_settle(
+            config,
+            pairs,
+            [w] * len(pairs),
+            threshold,
+            measure_time,
+            dac_samples,
+        )
+
+    def batch_pairs(
+        self,
+        function: str,
+        pairs: Sequence,
+        weights=None,
+        threshold: float = 0.0,
+        measure_time: bool = False,
+    ) -> BatchResult:
+        """Independent ``(p, q)`` comparisons sharing one settle.
+
+        The array rows are electrically independent for the row
+        structure, so arbitrary same-function pairs — even of
+        different lengths — settle together.  ``weights`` is either
+        ``None`` or one weight vector per pair.  This is the primitive
+        the serving layer's dynamic batcher coalesces concurrent
+        queries into.
+        """
+        config = self._require_row_config(function)
+        if len(pairs) == 0:
+            raise ConfigurationError("no pairs")
+        checked = []
+        for k, (p, q) in enumerate(pairs):
+            p_arr = as_sequence(p, f"pairs[{k}][0]")
+            q_arr = as_sequence(q, f"pairs[{k}][1]")
+            require_same_length(p_arr, q_arr)
+            checked.append((p_arr, q_arr))
+        if weights is None:
+            weight_vectors = [
+                as_weight_vector(None, p.shape[0]) for p, _ in checked
+            ]
+        else:
+            if len(weights) != len(checked):
+                raise ConfigurationError(
+                    "need one weight vector per pair; got "
+                    f"{len(weights)} for {len(checked)} pairs"
+                )
+            weight_vectors = [
+                as_weight_vector(w, p.shape[0])
+                for w, (p, _) in zip(weights, checked)
+            ]
+        dac_samples = sum(2 * p.shape[0] for p, _ in checked)
+        return self._batch_settle(
+            config,
+            checked,
+            weight_vectors,
+            threshold,
+            measure_time,
+            dac_samples,
+        )
+
+    def nearest(
+        self,
+        function: str,
+        query,
+        candidates: Sequence,
+        **kwargs,
+    ) -> int:
+        """Index of the closest candidate via one batched settle."""
+        result = self.batch(function, query, candidates, **kwargs)
+        return int(np.argmin(result.values))
+
+    def _require_row_config(self, function: str) -> FunctionConfig:
+        config = get_config(function)
+        if config.structure != "row":
+            raise ConfigurationError(
+                "batch mode targets the row structure "
+                "(hamming/manhattan); "
+                f"{config.name!r} uses the matrix structure"
+            )
+        return config
+
+    def _batch_settle(
+        self,
+        config: FunctionConfig,
+        pairs: "List[tuple]",
+        weight_vectors: "List[np.ndarray]",
+        threshold: float,
+        measure_time: bool,
+        dac_samples: int,
+    ) -> BatchResult:
+        """One block graph, one settling, one result per pair."""
+        threshold_v = threshold * self.params.voltage_resolution
+        graph = self._new_graph()
+        const_ids: Dict[int, List[int]] = {}
+
+        def ids_for(arr: np.ndarray) -> List[int]:
+            # Shared inputs (the 1-vs-many query) load one DAC row and
+            # drive every comparison from the same const blocks.
+            key = id(arr)
+            if key not in const_ids:
+                volts = self._encode_inputs(arr)
+                const_ids[key] = [graph.const(v) for v in volts]
+            return const_ids[key]
+
+        outs: List[int] = []
+        for k, (p_arr, q_arr) in enumerate(pairs):
+            if p_arr.shape[0] > self.params.array_cols:
+                raise ConfigurationError(
+                    "batch mode requires the sequence to fit one array "
+                    f"row; {p_arr.shape[0]} > {self.params.array_cols} "
+                    "(use DistanceAccelerator.compute, which tiles)"
+                )
+            p_ids = ids_for(p_arr)
+            q_ids = ids_for(q_arr)
+            if config.name == "hamming":
+                out = build_hamming_graph(
+                    graph,
+                    p_ids,
+                    q_ids,
+                    weight_vectors[k],
+                    self.params,
+                    threshold_v=threshold_v,
+                )
+            else:
+                out = build_manhattan_graph(
+                    graph, p_ids, q_ids, weight_vectors[k], self.params
+                )
+            graph.mark_output(f"cand{k}", out)
+            outs.append(out)
+
+        frozen = graph.freeze()
+        voltages = dc_solve(frozen)
+        raw = voltages[np.array(outs)]
+        overflow = bool(
+            np.max(voltages) > self.params.vcc * 1.05
+            or np.max(raw)
+            > self.adc.spec.full_scale - self.adc.spec.lsb
+        )
+        read = self.adc.convert(raw) if self.quantise_io else raw
+        values = np.array(
+            [self._decode(config, float(v)) for v in read]
+        )
+
+        t_conv = None
+        if measure_time:
+            t_conv, _ = measure_convergence(frozen, "cand0")
+        passes = int(np.ceil(len(pairs) / self.params.array_rows))
+        conversion = self.dac.load_time(
+            dac_samples
+        ) + self.adc.read_time(len(pairs))
+        return BatchResult(
+            function=config.name,
+            values=values,
+            convergence_time_s=t_conv,
+            conversion_time_s=conversion,
+            passes=passes,
+            overflow=overflow,
+        )
 
     # -- single tile ---------------------------------------------------------
     def _build(

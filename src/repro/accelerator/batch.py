@@ -3,30 +3,28 @@
 The Section 4.3 power totals for HamD/MD imply the row functions run
 *batch-parallel*: each of the array's 128 rows holds one candidate
 comparison against a shared query, and all rows settle together in one
-analog transient.  :func:`compute_row_batch` models exactly that — one
-block graph, one settling, many results — and is what gives the
-1-vs-many primitives (nearest neighbour, pairwise matrices, template
-banks) their throughput on this architecture.
+analog transient.  :meth:`DistanceAccelerator.batch` models exactly
+that — one block graph, one settling, many results — and is what gives
+the 1-vs-many primitives (nearest neighbour, pairwise matrices,
+template banks) their throughput on this architecture.
+:meth:`DistanceAccelerator.batch_pairs` generalises it to independent
+(p, q) pairs sharing one settle, which is what the serving layer's
+dynamic batcher coalesces concurrent row-structure queries into.
+
+The module-level :func:`compute_row_batch` / :func:`nearest_candidate`
+entry points predate those methods and are kept as deprecated shims.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+import warnings
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
-from ..analog import dc_solve, measure_convergence
-from ..errors import ConfigurationError
-from ..validation import (
-    as_sequence,
-    as_weight_vector,
-    require_same_length,
-)
-from .array import DistanceAccelerator
-from .configurations import get_config
-from .pe import build_hamming_graph, build_manhattan_graph
-from .tiling import plan_row_segments
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .array import DistanceAccelerator
 
 
 @dataclasses.dataclass
@@ -51,7 +49,7 @@ class BatchResult:
 
 
 def compute_row_batch(
-    accelerator: DistanceAccelerator,
+    accelerator: "DistanceAccelerator",
     function: str,
     query,
     candidates: Sequence,
@@ -59,104 +57,35 @@ def compute_row_batch(
     threshold: float = 0.0,
     measure_time: bool = False,
 ) -> BatchResult:
-    """Distances from ``query`` to every candidate, batched by rows.
-
-    All candidates must share the query's length (row structure).  Up
-    to ``array_rows`` candidates settle per pass; more candidates cost
-    additional passes (counted in ``passes`` and the time model).
-    """
-    config = get_config(function)
-    if config.structure != "row":
-        raise ConfigurationError(
-            "batch mode targets the row structure (hamming/manhattan);"
-            f" {config.name!r} uses the matrix structure"
-        )
-    if not candidates:
-        raise ConfigurationError("no candidates")
-    q_arr = as_sequence(query, "query")
-    n = q_arr.shape[0]
-    cand_arrs = []
-    for k, c in enumerate(candidates):
-        arr = as_sequence(c, f"candidates[{k}]")
-        require_same_length(q_arr, arr)
-        cand_arrs.append(arr)
-    if n > accelerator.params.array_cols:
-        raise ConfigurationError(
-            "batch mode requires the sequence to fit one array row; "
-            f"{n} > {accelerator.params.array_cols} (use "
-            "DistanceAccelerator.compute, which tiles)"
-        )
-    w = as_weight_vector(weights, n)
-    threshold_v = threshold * accelerator.params.voltage_resolution
-
-    graph = accelerator._new_graph()
-    qv = accelerator._encode_inputs(q_arr)
-    q_ids = [graph.const(v) for v in qv]
-    outs: List[int] = []
-    for k, arr in enumerate(cand_arrs):
-        cv = accelerator._encode_inputs(arr)
-        c_ids = [graph.const(v) for v in cv]
-        if config.name == "hamming":
-            out = build_hamming_graph(
-                graph,
-                q_ids,
-                c_ids,
-                w,
-                accelerator.params,
-                threshold_v=threshold_v,
-            )
-        else:
-            out = build_manhattan_graph(
-                graph, q_ids, c_ids, w, accelerator.params
-            )
-        graph.mark_output(f"cand{k}", out)
-        outs.append(out)
-
-    frozen = graph.freeze()
-    voltages = dc_solve(frozen)
-    raw = voltages[np.array(outs)]
-    overflow = bool(
-        np.max(voltages) > accelerator.params.vcc * 1.05
-        or np.max(raw)
-        > accelerator.adc.spec.full_scale - accelerator.adc.spec.lsb
+    """Deprecated shim for :meth:`DistanceAccelerator.batch`."""
+    warnings.warn(
+        "compute_row_batch is deprecated; use "
+        "DistanceAccelerator.batch instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    read = (
-        accelerator.adc.convert(raw)
-        if accelerator.quantise_io
-        else raw
-    )
-    values = np.array(
-        [accelerator._decode(config, float(v)) for v in read]
-    )
-
-    t_conv = None
-    if measure_time:
-        t_conv, _ = measure_convergence(frozen, "cand0")
-    passes = int(
-        np.ceil(len(cand_arrs) / accelerator.params.array_rows)
-    )
-    conversion = accelerator.dac.load_time(
-        n * (1 + len(cand_arrs))
-    ) + accelerator.adc.read_time(len(cand_arrs))
-    return BatchResult(
-        function=config.name,
-        values=values,
-        convergence_time_s=t_conv,
-        conversion_time_s=conversion,
-        passes=passes,
-        overflow=overflow,
+    return accelerator.batch(
+        function,
+        query,
+        candidates,
+        weights=weights,
+        threshold=threshold,
+        measure_time=measure_time,
     )
 
 
 def nearest_candidate(
-    accelerator: DistanceAccelerator,
+    accelerator: "DistanceAccelerator",
     function: str,
     query,
     candidates: Sequence,
     **kwargs,
 ) -> int:
-    """Index of the closest candidate via one batched settle."""
-    result = compute_row_batch(
-        accelerator, function, query, candidates, **kwargs
+    """Deprecated shim for :meth:`DistanceAccelerator.nearest`."""
+    warnings.warn(
+        "nearest_candidate is deprecated; use "
+        "DistanceAccelerator.nearest instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return int(np.argmin(result.values))
+    return accelerator.nearest(function, query, candidates, **kwargs)

@@ -201,13 +201,10 @@ class AcceleratorController:
         if structure == "row" and k > 1:
             # Genuinely batched: row i against all later series in one
             # (or a few) analog settles across the array rows.
-            from .batch import compute_row_batch
-
             total_passes = 0
             pair_latency = None
             for i in range(k - 1):
-                batch = compute_row_batch(
-                    self.accelerator,
+                batch = self.accelerator.batch(
                     name,
                     arrays[i],
                     arrays[i + 1 :],

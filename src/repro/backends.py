@@ -1,0 +1,191 @@
+"""Unified execution backends for the six distance functions.
+
+The mining and data-center layers historically special-cased which
+engine they talked to: registered software callables here, an
+accelerator ``.distance()`` closure there, module-level batch helpers
+elsewhere.  :class:`DistanceBackend` is the one protocol they all speak
+now — three operations, mirroring how the paper's architecture is
+actually exercised:
+
+``compute``
+    one distance (the matrix structure's unit of work),
+``batch``
+    one query against a candidate bank (the row structure's 1-vs-many
+    settle — the throughput primitive),
+``pairwise``
+    a full distance matrix (clustering / k-medoids).
+
+Three implementations ship: :class:`SoftwareBackend` (the reference
+math), :class:`AcceleratorBackend` (one simulated chip), and
+:class:`repro.serving.PoolBackend` (a sharded, batching, caching
+accelerator pool).  Anything with the same three methods — a remote
+service stub, a recorded-trace mock — slots in identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .distances.base import get_distance, pairwise_matrix
+from .errors import ConfigurationError
+
+
+@runtime_checkable
+class DistanceBackend(Protocol):
+    """What every distance execution engine must offer."""
+
+    name: str
+
+    def compute(
+        self, function: str, p, q, *, weights=None, **kwargs
+    ) -> float:
+        """One distance between ``p`` and ``q``."""
+        ...
+
+    def batch(
+        self,
+        function: str,
+        query,
+        candidates: Sequence,
+        *,
+        weights=None,
+        **kwargs,
+    ) -> np.ndarray:
+        """Distances from ``query`` to every candidate."""
+        ...
+
+    def pairwise(
+        self, function: str, series: Sequence, **kwargs
+    ) -> np.ndarray:
+        """Symmetric distance matrix over ``series``."""
+        ...
+
+
+class SoftwareBackend:
+    """The registry's reference implementations behind the protocol."""
+
+    name = "software"
+
+    def compute(
+        self, function: str, p, q, *, weights=None, **kwargs
+    ) -> float:
+        fn = get_distance(function).fn
+        if weights is not None:
+            kwargs = dict(kwargs, weights=weights)
+        return float(fn(p, q, **kwargs))
+
+    def batch(
+        self,
+        function: str,
+        query,
+        candidates: Sequence,
+        *,
+        weights=None,
+        **kwargs,
+    ) -> np.ndarray:
+        return np.array(
+            [
+                self.compute(
+                    function, query, c, weights=weights, **kwargs
+                )
+                for c in candidates
+            ]
+        )
+
+    def pairwise(
+        self, function: str, series: Sequence, **kwargs
+    ) -> np.ndarray:
+        return pairwise_matrix(function, list(series), **kwargs)
+
+
+class AcceleratorBackend:
+    """One simulated accelerator chip behind the protocol.
+
+    Row-structure functions route 1-vs-many calls through the batched
+    settle (:meth:`DistanceAccelerator.batch`); matrix functions fall
+    back to per-pair execution — exactly the dispatch the paper's
+    control module performs.
+    """
+
+    name = "accelerator"
+
+    def __init__(self, accelerator=None) -> None:
+        if accelerator is None:
+            from .accelerator import DistanceAccelerator
+
+            accelerator = DistanceAccelerator()
+        self.accelerator = accelerator
+
+    def compute(
+        self, function: str, p, q, *, weights=None, **kwargs
+    ) -> float:
+        return float(
+            self.accelerator.compute(
+                function, p, q, weights=weights, **kwargs
+            ).value
+        )
+
+    def batch(
+        self,
+        function: str,
+        query,
+        candidates: Sequence,
+        *,
+        weights=None,
+        **kwargs,
+    ) -> np.ndarray:
+        from .accelerator.configurations import get_config
+
+        config = get_config(function)
+        fits = (
+            config.structure == "row"
+            and np.asarray(query).shape[0]
+            <= self.accelerator.params.array_cols
+        )
+        if fits:
+            return self.accelerator.batch(
+                function, query, candidates, weights=weights, **kwargs
+            ).values
+        return np.array(
+            [
+                self.compute(
+                    function, query, c, weights=weights, **kwargs
+                )
+                for c in candidates
+            ]
+        )
+
+    def pairwise(
+        self, function: str, series: Sequence, **kwargs
+    ) -> np.ndarray:
+        from .accelerator import AcceleratorController
+
+        matrix, _ = AcceleratorController(self.accelerator).pairwise(
+            function, series, **kwargs
+        )
+        return matrix
+
+
+def resolve_backend(
+    backend: "Optional[DistanceBackend | str]",
+) -> DistanceBackend:
+    """Accept a backend object, a name, or ``None`` (software)."""
+    if backend is None:
+        return SoftwareBackend()
+    if isinstance(backend, str):
+        key = backend.strip().lower()
+        if key == "software":
+            return SoftwareBackend()
+        if key == "accelerator":
+            return AcceleratorBackend()
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; known: software, accelerator"
+        )
+    if isinstance(backend, DistanceBackend):
+        return backend
+    raise ConfigurationError(
+        f"object {backend!r} does not implement DistanceBackend "
+        "(compute/batch/pairwise)"
+    )

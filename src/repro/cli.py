@@ -9,6 +9,7 @@ Commands
 ``power``     Section 4.3 power & energy table
 ``report``    everything above in one run
 ``datasets``  list the available synthetic datasets
+``serve-bench``  replay a mixed query stream through the pool
 """
 
 from __future__ import annotations
@@ -58,6 +59,40 @@ def _add_sweeps(sub: argparse._SubParsersAction) -> None:
     sub.add_parser("datasets", help="list synthetic datasets")
 
 
+def _add_serving(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve-bench",
+        help="replay a mixed query stream through the accelerator pool",
+    )
+    p.add_argument("--queries", type=int, default=1000)
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--window-us",
+        type=float,
+        default=2.0,
+        help="dynamic batching window (microseconds)",
+    )
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="serve every query with its own settle",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    p.add_argument(
+        "--latency-model",
+        choices=["calibrated", "measured"],
+        default="calibrated",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the full JSON snapshot"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -68,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_compute(sub)
     _add_sweeps(sub)
+    _add_serving(sub)
     return parser
 
 
@@ -160,6 +196,30 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serving import PoolConfig, run_serve_bench
+
+    config = PoolConfig(
+        queue_depth=args.queue_depth,
+        batch_window_s=args.window_us * 1e-6,
+        max_batch=args.max_batch,
+        enable_batching=not args.no_batching,
+        cache_capacity=0 if args.no_cache else 4096,
+        latency_model=args.latency_model,
+    )
+    report = run_serve_bench(
+        n_queries=args.queries,
+        n_shards=args.shards,
+        seed=args.seed,
+        config=config,
+    )
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.table())
+    return 0
+
+
 _COMMANDS = {
     "compute": _cmd_compute,
     "fig5": _cmd_fig5,
@@ -168,6 +228,7 @@ _COMMANDS = {
     "power": _cmd_power,
     "report": _cmd_report,
     "datasets": _cmd_datasets,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

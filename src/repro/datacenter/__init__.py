@@ -18,6 +18,7 @@ from .simulate import (
     simulate_accelerator,
     simulate_cpu,
     simulate_farm,
+    simulate_pool,
 )
 from .workload import (
     DEFAULT_MIX,
@@ -43,4 +44,5 @@ __all__ = [
     "simulate_accelerator",
     "simulate_cpu",
     "simulate_farm",
+    "simulate_pool",
 ]

@@ -171,6 +171,71 @@ def simulate_farm(
     )
 
 
+def simulate_pool(
+    queries: Sequence[Query],
+    n_shards: int = 4,
+    config=None,
+    seed: int = 0,
+    n_templates: int = 8,
+) -> SimulationResult:
+    """Pooled accelerators: N sharded chips, batching and caching.
+
+    Materialises each abstract :class:`Query` into concrete sequences
+    drawn from a per-(function, length) template bank — data centers
+    replay the same reference patterns, which is what the pool's cache
+    exploits — and replays the stream through
+    :class:`repro.serving.AcceleratorPool`.  Unlike the single-server
+    deployments, every query here executes on a real simulated analog
+    array; latencies come from the same calibrated model the
+    :class:`AcceleratorServer` uses, so results are comparable.
+    """
+    from ..serving import AcceleratorPool
+
+    if not queries:
+        raise ConfigurationError("empty query stream")
+    rng = np.random.default_rng(seed)
+    banks: Dict = {}
+    pool = AcceleratorPool(n_shards=n_shards, config=config)
+    for query in queries:
+        key = (query.function, query.length)
+        if key not in banks:
+            banks[key] = rng.normal(
+                size=(n_templates, query.length)
+            )
+        bank = banks[key]
+        i, j = rng.integers(0, len(bank), size=2)
+        kwargs = (
+            {"threshold": 0.5}
+            if query.function in ("lcs", "edit", "hamming")
+            else {}
+        )
+        pool.submit(
+            query.function,
+            bank[i],
+            bank[j],
+            arrival_s=query.arrival_s,
+            **kwargs,
+        )
+    responses = pool.drain()
+    ok = [r for r in responses if r.status == "ok"]
+    if not ok:
+        raise ConfigurationError("pool served no queries")
+    sojourns = np.array([r.latency_s for r in ok])
+    makespan = pool.makespan_s
+    utilisations = pool.utilisations()
+    return SimulationResult(
+        deployment=f"pooled accelerators (x{n_shards})",
+        served=len(ok),
+        dropped=len(responses) - len(ok),
+        mean_sojourn_s=float(np.mean(sojourns)),
+        p99_sojourn_s=float(np.percentile(sojourns, 99)),
+        utilisation=float(np.mean(utilisations)),
+        busy_energy_j=pool.energy_j,
+        idle_energy_j=0.0,
+        makespan_s=makespan,
+    )
+
+
 def comparison_table(
     results: Sequence[SimulationResult],
 ) -> str:

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..backends import resolve_backend
 from ..distances.base import get_distance
 from ..errors import ConfigurationError, DatasetError
 from ..validation import as_sequence
@@ -47,16 +48,32 @@ class KnnClassifier:
     distance_kwargs:
         Extra keyword arguments forwarded to every distance call
         (threshold, band, ...).
+    backend:
+        Optional :class:`repro.backends.DistanceBackend` (or name:
+        ``"software"``, ``"accelerator"``) that executes the distance
+        calls.  Scoring a query then goes through one ``batch()`` call
+        — on the accelerator and pool backends that is the row
+        structure's 1-vs-many settle.  Requires ``distance`` to be a
+        registered name.
     """
 
     distance: object = "dtw"
     k: int = 1
     larger_is_similar: Optional[bool] = None
     distance_kwargs: Optional[dict] = None
+    backend: object = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ConfigurationError("k must be >= 1")
+        self._backend = None
+        if self.backend is not None:
+            if not isinstance(self.distance, str):
+                raise ConfigurationError(
+                    "backend routing needs a registered distance "
+                    "name, not a callable"
+                )
+            self._backend = resolve_backend(self.backend)
         fn, similarity = _resolve_distance(self.distance)
         self._fn = fn
         if self.larger_is_similar is None:
@@ -76,9 +93,19 @@ class KnnClassifier:
         return self
 
     def _scores(self, query: np.ndarray) -> np.ndarray:
-        scores = np.array(
-            [self._fn(query, ref, **self._kwargs) for ref in self._x]
-        )
+        if self._backend is not None:
+            scores = np.asarray(
+                self._backend.batch(
+                    self.distance, query, self._x, **self._kwargs
+                )
+            )
+        else:
+            scores = np.array(
+                [
+                    self._fn(query, ref, **self._kwargs)
+                    for ref in self._x
+                ]
+            )
         return -scores if self.larger_is_similar else scores
 
     def kneighbors(self, query) -> np.ndarray:
@@ -113,6 +140,7 @@ def leave_one_out_accuracy(
     y,
     distance="dtw",
     k: int = 1,
+    backend=None,
     **distance_kwargs,
 ) -> float:
     """Leave-one-out 1-NN accuracy (the UCR benchmark protocol)."""
@@ -120,12 +148,17 @@ def leave_one_out_accuracy(
     y_arr = np.asarray(y)
     if len(x_arrs) != y_arr.shape[0]:
         raise DatasetError("x and y lengths differ")
+    if backend is not None:
+        backend = resolve_backend(backend)
     correct = 0
     for i in range(len(x_arrs)):
         rest_x = x_arrs[:i] + x_arrs[i + 1 :]
         rest_y = np.concatenate([y_arr[:i], y_arr[i + 1 :]])
         clf = KnnClassifier(
-            distance=distance, k=k, distance_kwargs=distance_kwargs
+            distance=distance,
+            k=k,
+            distance_kwargs=distance_kwargs,
+            backend=backend,
         ).fit(rest_x, rest_y)
         if clf.predict_one(x_arrs[i]) == y_arr[i]:
             correct += 1

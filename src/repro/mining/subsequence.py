@@ -19,7 +19,7 @@ import numpy as np
 
 from ..distances.dtw import dtw
 from ..distances.lower_bounds import keogh_envelope, lb_keogh, lb_kim
-from ..errors import SequenceError
+from ..errors import ConfigurationError, SequenceError
 from ..validation import as_sequence
 from ..datasets.preprocessing import z_normalise
 
@@ -64,6 +64,7 @@ def subsequence_search(
     use_lower_bounds: bool = True,
     dtw_fn: Optional[Callable[..., float]] = None,
     normalise: bool = True,
+    backend=None,
 ) -> SearchResult:
     """Best DTW match of ``query`` among all windows of ``series``.
 
@@ -78,11 +79,28 @@ def subsequence_search(
         backend); must accept ``(p, q, band=...)``.
     normalise:
         z-normalise the query and every window (UCR protocol).
+    backend:
+        Optional :class:`repro.backends.DistanceBackend` (or name)
+        that executes the surviving full-DTW calls; the lower-bound
+        cascade stays in software, mirroring the paper's division of
+        labour.  Mutually exclusive with ``dtw_fn``.
     """
     query_arr = as_sequence(query, "query")
     if normalise:
         query_arr = z_normalise(query_arr)
     windows = sliding_windows(series, query_arr.shape[0])
+    if backend is not None:
+        if dtw_fn is not None:
+            raise ConfigurationError(
+                "pass either dtw_fn or backend, not both"
+            )
+        from ..backends import resolve_backend
+
+        resolved = resolve_backend(backend)
+
+        def dtw_fn(p, q, band=None):
+            return resolved.compute("dtw", p, q, band=band)
+
     if dtw_fn is None:
         dtw_fn = dtw
     envelope = keogh_envelope(query_arr, band=band)

@@ -1,0 +1,52 @@
+"""Serving layer: sharded accelerator pool for data-center deployment.
+
+>>> from repro.serving import AcceleratorPool
+>>> pool = AcceleratorPool(n_shards=2)
+>>> pool.submit("hamming", [1.0, 2.0], [1.0, 3.0], threshold=0.5)
+0
+>>> pool.drain()[0].value
+1.0
+"""
+
+from .batcher import DynamicBatcher
+from .bench import (
+    BenchQuery,
+    BenchReport,
+    generate_queries,
+    run_serve_bench,
+)
+from .cache import ResultCache, quantise_key
+from .metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+)
+from .pool import (
+    AcceleratorPool,
+    PoolBackend,
+    PoolConfig,
+    PoolRequest,
+    PoolResponse,
+    serial_loop_time,
+)
+
+__all__ = [
+    "AcceleratorPool",
+    "BenchQuery",
+    "BenchReport",
+    "Counter",
+    "DynamicBatcher",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "PoolBackend",
+    "PoolConfig",
+    "PoolRequest",
+    "PoolResponse",
+    "ResultCache",
+    "generate_queries",
+    "quantise_key",
+    "run_serve_bench",
+    "serial_loop_time",
+]

@@ -1,0 +1,742 @@
+"""Sharded accelerator pool: the data-center request path.
+
+``AcceleratorPool`` is the serving layer the paper's Section 1 scenario
+implies but never builds: N reconfigurable accelerator chips behind one
+submit/drain interface, with
+
+* **sharding** — least-loaded placement with same-function affinity
+  (reconfiguration costs transmission-gate and memristor writes, so
+  keeping a function resident on a shard is free throughput);
+* **dynamic batching** — row-structure queries (hamming/manhattan)
+  arriving within a window coalesce into one
+  :meth:`DistanceAccelerator.batch_pairs` settle, the architecture's
+  1-vs-many parallelism;
+* **result caching** — an LRU keyed on (function, quantised inputs,
+  weights) absorbs repeated queries before they touch a shard;
+* **bounded queues** — per-shard admission control sheds load instead
+  of queueing unboundedly (overload protection);
+* **metrics** — counters, latency histograms and per-shard utilisation
+  exported as dict/JSON.
+
+Scheduling runs in *virtual time*: every request carries an arrival
+timestamp, service durations come from the accelerator's calibrated
+(or measured) timing model, and the event loop replays the stream
+deterministically.  The computations themselves are real — every
+settle executes on the shard's simulated analog array — so the pool
+returns true distance values while modelling data-center latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..accelerator import DistanceAccelerator, ReconfigurationCost
+from ..accelerator.configurations import get_config
+from ..accelerator.power import accelerator_power
+from ..baselines.literature import CALIBRATED_OURS_PER_ELEMENT_S
+from ..errors import CapacityError, ConfigurationError
+from ..validation import as_sequence, require_same_length
+from .batcher import DynamicBatcher
+from .cache import ResultCache
+from .metrics import MetricsRegistry
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolConfig:
+    """Tuning knobs of one pool deployment.
+
+    Attributes
+    ----------
+    queue_depth:
+        Maximum unfinished requests a shard accepts before shedding.
+    batch_window_s:
+        Virtual seconds a row-structure query waits for companions.
+    max_batch:
+        Flush a batch early once this many queries coalesced.
+    enable_batching:
+        Route row-structure queries through the dynamic batcher.
+    cache_capacity:
+        LRU entries (0 disables caching).
+    cache_resolution:
+        Input quantisation grid of the cache key, in sequence units.
+    latency_model:
+        ``"calibrated"`` (per-element constants; fast) or
+        ``"measured"`` (probe analog convergence per operating point).
+    """
+
+    queue_depth: int = 64
+    batch_window_s: float = 2.0e-6
+    max_batch: int = 32
+    enable_batching: bool = True
+    cache_capacity: int = 4096
+    cache_resolution: float = 1.0e-6
+    latency_model: str = "calibrated"
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be >= 1")
+        if self.batch_window_s < 0:
+            raise ConfigurationError("batch window must be >= 0")
+        if self.max_batch < 1:
+            raise ConfigurationError("max_batch must be >= 1")
+        if self.latency_model not in ("calibrated", "measured"):
+            raise ConfigurationError(
+                "latency_model must be 'calibrated' or 'measured'"
+            )
+
+
+@dataclasses.dataclass
+class PoolRequest:
+    """One queued distance query."""
+
+    id: int
+    function: str
+    p: np.ndarray
+    q: np.ndarray
+    arrival_s: float
+    weights: Optional[np.ndarray] = None
+    kwargs: Dict = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class PoolResponse:
+    """Outcome of one request.
+
+    ``status`` is ``"ok"`` or ``"shed"`` (rejected by admission
+    control; ``value`` is ``None``).  Cached responses complete at
+    their arrival instant.
+    """
+
+    request_id: int
+    function: str
+    status: str
+    value: Optional[float]
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    shard: Optional[int] = None
+    cached: bool = False
+    batched: bool = False
+    batch_size: int = 1
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+class _Shard:
+    """One accelerator chip plus its queue-state bookkeeping."""
+
+    def __init__(
+        self,
+        index: int,
+        accelerator: DistanceAccelerator,
+        config: PoolConfig,
+    ) -> None:
+        self.index = index
+        self.accelerator = accelerator
+        self.batcher = DynamicBatcher(
+            window_s=config.batch_window_s,
+            max_batch=min(
+                config.max_batch, accelerator.params.array_rows
+            ),
+        )
+        self.busy_until = 0.0
+        self.busy_s = 0.0
+        self.current_function: Optional[str] = None
+        self.served = 0
+        self.batches = 0
+        self._unfinished: List[float] = []
+
+    def depth_at(self, now: float) -> int:
+        """Unfinished work assigned to this shard at instant ``now``."""
+        self._unfinished = [f for f in self._unfinished if f > now]
+        return len(self._unfinished) + self.batcher.pending()
+
+    def assign(self, finish_s: float, count: int = 1) -> None:
+        self._unfinished.extend([finish_s] * count)
+
+
+class AcceleratorPool:
+    """N sharded accelerators behind one batching/caching front end."""
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        config: Optional[PoolConfig] = None,
+        accelerator_factory: Optional[
+            Callable[[], DistanceAccelerator]
+        ] = None,
+        reconfiguration: Optional[ReconfigurationCost] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        self.config = config if config is not None else PoolConfig()
+        factory = (
+            accelerator_factory
+            if accelerator_factory is not None
+            else DistanceAccelerator
+        )
+        self.shards = [
+            _Shard(i, factory(), self.config) for i in range(n_shards)
+        ]
+        self.reconfiguration = (
+            reconfiguration
+            if reconfiguration is not None
+            else ReconfigurationCost()
+        )
+        self.cache = ResultCache(
+            capacity=self.config.cache_capacity,
+            resolution=self.config.cache_resolution,
+        )
+        self.metrics = MetricsRegistry()
+        self.responses: Dict[int, PoolResponse] = {}
+        self._pending: List[PoolRequest] = []
+        self._next_id = 0
+        self._virtual_now = 0.0
+        self._first_arrival: Optional[float] = None
+        self._last_finish = 0.0
+        self._settle_cache: Dict[Tuple, float] = {}
+        self._energy_j = 0.0
+        self._row_busy_s = 0.0
+
+    # -- client API ----------------------------------------------------------
+    def submit(
+        self,
+        function: str,
+        p,
+        q,
+        weights=None,
+        arrival_s: Optional[float] = None,
+        **kwargs,
+    ) -> int:
+        """Queue one query; returns its request id.
+
+        ``arrival_s`` defaults to the pool's current virtual time, so
+        offline callers can ignore timestamps entirely.
+        """
+        config = get_config(function)
+        p_arr = as_sequence(p, "p")
+        q_arr = as_sequence(q, "q")
+        if not config.supports_unequal_lengths:
+            require_same_length(p_arr, q_arr)
+        arrival = (
+            float(arrival_s)
+            if arrival_s is not None
+            else self._virtual_now
+        )
+        if arrival < 0:
+            raise ConfigurationError("arrival time must be >= 0")
+        request = PoolRequest(
+            id=self._next_id,
+            function=config.name,
+            p=p_arr,
+            q=q_arr,
+            arrival_s=arrival,
+            weights=(
+                None
+                if weights is None
+                else np.asarray(weights, dtype=np.float64)
+            ),
+            kwargs=dict(kwargs),
+        )
+        self._next_id += 1
+        self._pending.append(request)
+        self.metrics.counter("requests").inc()
+        return request.id
+
+    def drain(self) -> List[PoolResponse]:
+        """Serve every pending request; returns their responses."""
+        requests = sorted(
+            self._pending, key=lambda r: (r.arrival_s, r.id)
+        )
+        self._pending = []
+        for request in requests:
+            if self._first_arrival is None:
+                self._first_arrival = request.arrival_s
+            self._flush_due(request.arrival_s)
+            self._admit(request)
+        self._flush_remaining()
+        self._virtual_now = max(self._virtual_now, self._last_finish)
+        done = [self.responses[r.id] for r in requests]
+        return sorted(done, key=lambda resp: resp.request_id)
+
+    def serve(self, queries: Sequence[Tuple]) -> List[PoolResponse]:
+        """Submit ``(function, p, q)``-style tuples and drain."""
+        for query in queries:
+            self.submit(*query)
+        return self.drain()
+
+    @property
+    def virtual_now(self) -> float:
+        return self._virtual_now
+
+    # -- scheduling ----------------------------------------------------------
+    def _admit(self, request: PoolRequest) -> None:
+        key = self._cache_key(request)
+        cached = self.cache.get(key)
+        self.metrics.counter(
+            "cache_hits" if cached is not None else "cache_misses"
+        ).inc()
+        if cached is not None:
+            self._respond(
+                request,
+                PoolResponse(
+                    request_id=request.id,
+                    function=request.function,
+                    status="ok",
+                    value=cached,
+                    arrival_s=request.arrival_s,
+                    start_s=request.arrival_s,
+                    finish_s=request.arrival_s,
+                    cached=True,
+                ),
+            )
+            return
+
+        shard = self._pick_shard(request)
+        if shard.depth_at(request.arrival_s) >= self.config.queue_depth:
+            self.metrics.counter("shed").inc()
+            self._respond(
+                request,
+                PoolResponse(
+                    request_id=request.id,
+                    function=request.function,
+                    status="shed",
+                    value=None,
+                    arrival_s=request.arrival_s,
+                    start_s=request.arrival_s,
+                    finish_s=request.arrival_s,
+                    shard=shard.index,
+                ),
+            )
+            return
+
+        if self._batchable(request):
+            batch_key = self._batch_key(request)
+            full = shard.batcher.add(
+                batch_key, request, request.arrival_s
+            )
+            if full is not None:
+                self._execute_batch(shard, full, request.arrival_s)
+        else:
+            self._execute_single(shard, request)
+
+    def _batchable(self, request: PoolRequest) -> bool:
+        if not self.config.enable_batching:
+            return False
+        config = get_config(request.function)
+        if config.structure != "row":
+            return False
+        cols = self.shards[0].accelerator.params.array_cols
+        if request.p.shape[0] > cols:
+            return False
+        # Only kwargs the batched settle understands may coalesce.
+        return set(request.kwargs) <= {"threshold"}
+
+    def _batch_key(self, request: PoolRequest) -> Hashable:
+        return (
+            request.function,
+            tuple(sorted(request.kwargs.items())),
+        )
+
+    def _cache_key(self, request: PoolRequest) -> Hashable:
+        return self.cache.key(
+            request.function,
+            request.p,
+            request.q,
+            weights=request.weights,
+            extra=tuple(sorted(request.kwargs.items())),
+        )
+
+    def _pick_shard(self, request: PoolRequest) -> _Shard:
+        """Least-loaded shard; function affinity breaks ties."""
+        batch_key = self._batch_key(request)
+
+        def score(shard: _Shard) -> Tuple:
+            affinity = (
+                0
+                if (
+                    shard.batcher.pending_for(batch_key) > 0
+                    or shard.current_function == request.function
+                )
+                else 1
+            )
+            return (
+                shard.depth_at(request.arrival_s),
+                affinity,
+                shard.busy_until,
+                shard.index,
+            )
+
+        return min(self.shards, key=score)
+
+    def _flush_due(self, now: float) -> None:
+        for shard in self.shards:
+            for _, items in shard.batcher.due(now):
+                deadline = (
+                    items[0].arrival_s + shard.batcher.window_s
+                )
+                self._execute_batch(shard, items, deadline)
+
+    def _flush_remaining(self) -> None:
+        for shard in self.shards:
+            for _, items in shard.batcher.flush():
+                deadline = (
+                    items[0].arrival_s + shard.batcher.window_s
+                )
+                self._execute_batch(shard, items, deadline)
+
+    # -- execution -----------------------------------------------------------
+    def _reconfigure(self, shard: _Shard, function: str) -> float:
+        if shard.current_function == function:
+            return 0.0
+        shard.current_function = function
+        self.metrics.counter("reconfigurations").inc()
+        return self.reconfiguration.switch_time(0)
+
+    def _settle_time(
+        self, shard: _Shard, request: PoolRequest
+    ) -> float:
+        """One analog settle at this request's operating point."""
+        n = int(max(request.p.shape[0], request.q.shape[0]))
+        if self.config.latency_model == "calibrated":
+            return CALIBRATED_OURS_PER_ELEMENT_S[request.function] * n
+        key = (request.function, request.p.shape[0], request.q.shape[0])
+        if key not in self._settle_cache:
+            probe = shard.accelerator.compute(
+                request.function,
+                request.p,
+                request.q,
+                weights=request.weights,
+                measure_time=True,
+                **request.kwargs,
+            )
+            self._settle_cache[key] = probe.convergence_time_s
+        return self._settle_cache[key]
+
+    def _finish_execution(
+        self,
+        shard: _Shard,
+        function: str,
+        start_s: float,
+        service_s: float,
+        count: int,
+    ) -> float:
+        finish = start_s + service_s
+        shard.busy_until = finish
+        shard.busy_s += service_s
+        shard.served += count
+        shard.assign(finish, count)
+        self._last_finish = max(self._last_finish, finish)
+        self._energy_j += (
+            service_s * accelerator_power(function).total_w
+        )
+        if get_config(function).structure == "row":
+            self._row_busy_s += service_s
+        return finish
+
+    def _execute_single(
+        self, shard: _Shard, request: PoolRequest
+    ) -> None:
+        start = max(request.arrival_s, shard.busy_until)
+        reconfig = self._reconfigure(shard, request.function)
+        acc = shard.accelerator
+        result = acc.compute(
+            request.function,
+            request.p,
+            request.q,
+            weights=request.weights,
+            **request.kwargs,
+        )
+        if result.overflow:
+            self.metrics.counter("overflow").inc()
+        service = (
+            reconfig
+            + self._settle_time(shard, request)
+            + acc.dac.load_time(request.p.size + request.q.size)
+            + acc.adc.read_time(1)
+        )
+        finish = self._finish_execution(
+            shard, request.function, start, service, 1
+        )
+        self.cache.put(self._cache_key(request), result.value)
+        self._respond(
+            request,
+            PoolResponse(
+                request_id=request.id,
+                function=request.function,
+                status="ok",
+                value=float(result.value),
+                arrival_s=request.arrival_s,
+                start_s=start,
+                finish_s=finish,
+                shard=shard.index,
+            ),
+        )
+
+    def _execute_batch(
+        self,
+        shard: _Shard,
+        requests: List[PoolRequest],
+        dispatch_s: float,
+    ) -> None:
+        start = max(dispatch_s, shard.busy_until)
+        function = requests[0].function
+        reconfig = self._reconfigure(shard, function)
+        acc = shard.accelerator
+        threshold = float(
+            requests[0].kwargs.get("threshold", 0.0)
+        )
+        weights = (
+            None
+            if all(r.weights is None for r in requests)
+            else [r.weights for r in requests]
+        )
+        result = acc.batch_pairs(
+            function,
+            [(r.p, r.q) for r in requests],
+            weights=weights,
+            threshold=threshold,
+        )
+        if result.overflow:
+            self.metrics.counter("overflow").inc()
+        settle = self._settle_time(
+            shard, max(requests, key=lambda r: r.p.shape[0])
+        )
+        service = (
+            reconfig
+            + result.passes * settle
+            + result.conversion_time_s
+        )
+        finish = self._finish_execution(
+            shard, function, start, service, len(requests)
+        )
+        shard.batches += 1
+        self.metrics.counter("batches").inc()
+        self.metrics.counter("batched_requests").inc(len(requests))
+        self.metrics.histogram(
+            "batch_size", low=1.0, high=512.0, n_buckets=32
+        ).record(len(requests))
+        for request, value in zip(requests, result.values):
+            self.cache.put(self._cache_key(request), float(value))
+            self._respond(
+                request,
+                PoolResponse(
+                    request_id=request.id,
+                    function=function,
+                    status="ok",
+                    value=float(value),
+                    arrival_s=request.arrival_s,
+                    start_s=start,
+                    finish_s=finish,
+                    shard=shard.index,
+                    batched=True,
+                    batch_size=len(requests),
+                ),
+            )
+
+    def _respond(
+        self, request: PoolRequest, response: PoolResponse
+    ) -> None:
+        self.responses[request.id] = response
+        if response.status == "ok":
+            self.metrics.counter("served").inc()
+            self.metrics.histogram("latency").record(
+                response.latency_s
+            )
+            self.metrics.histogram(
+                f"latency.{request.function}"
+            ).record(response.latency_s)
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def makespan_s(self) -> float:
+        if self._first_arrival is None:
+            return 0.0
+        return max(self._last_finish - self._first_arrival, 0.0)
+
+    @property
+    def energy_j(self) -> float:
+        return self._energy_j
+
+    @property
+    def row_busy_s(self) -> float:
+        """Busy seconds spent in row-structure settles (batch or not)."""
+        return self._row_busy_s
+
+    def utilisations(self) -> List[float]:
+        makespan = self.makespan_s
+        if makespan <= 0:
+            return [0.0 for _ in self.shards]
+        return [
+            min(shard.busy_s / makespan, 1.0) for shard in self.shards
+        ]
+
+    def snapshot(self) -> Dict:
+        """Full metrics export (counters, histograms, shards, cache)."""
+        for shard, utilisation in zip(
+            self.shards, self.utilisations()
+        ):
+            gauge = self.metrics.gauge(
+                f"shard{shard.index}.utilisation"
+            )
+            gauge.set(utilisation)
+        data = self.metrics.as_dict()
+        data["shards"] = [
+            {
+                "index": shard.index,
+                "served": shard.served,
+                "batches": shard.batches,
+                "busy_s": shard.busy_s,
+                "current_function": shard.current_function,
+            }
+            for shard in self.shards
+        ]
+        data["cache"] = self.cache.as_dict()
+        data["makespan_s"] = self.makespan_s
+        data["energy_j"] = self._energy_j
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        import json
+
+        return json.dumps(self.snapshot(), indent=indent)
+
+
+def serial_loop_time(
+    requests: Sequence[PoolRequest],
+    accelerator: Optional[DistanceAccelerator] = None,
+    reconfiguration: Optional[ReconfigurationCost] = None,
+) -> float:
+    """Modelled time of the naive per-query loop on ONE accelerator.
+
+    The baseline the pool's batching is judged against: same stream,
+    same calibrated timing model, but every query pays its own settle
+    and conversion, serialised in arrival order.
+    """
+    if accelerator is None:
+        accelerator = DistanceAccelerator()
+    if reconfiguration is None:
+        reconfiguration = ReconfigurationCost()
+    total = 0.0
+    current: Optional[str] = None
+    for request in requests:
+        if request.function != current:
+            total += reconfiguration.switch_time(0)
+            current = request.function
+        n = int(max(request.p.shape[0], request.q.shape[0]))
+        total += (
+            CALIBRATED_OURS_PER_ELEMENT_S[request.function] * n
+            + accelerator.dac.load_time(
+                request.p.size + request.q.size
+            )
+            + accelerator.adc.read_time(1)
+        )
+    return total
+
+
+class PoolBackend:
+    """:class:`AcceleratorPool` behind the DistanceBackend protocol.
+
+    Lets the mining layer route template-bank searches through the
+    pool: a ``batch`` call submits one request per candidate, and the
+    dynamic batcher coalesces them into row settles.  Requests shed by
+    admission control are retried after the queue drains.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self, pool: Optional[AcceleratorPool] = None, max_retries: int = 32
+    ) -> None:
+        self.pool = pool if pool is not None else AcceleratorPool()
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        self.max_retries = max_retries
+
+    def _resolve(self, submitted: List[Tuple[int, Tuple]]) -> np.ndarray:
+        """Drain; retry shed requests until all values materialise."""
+        values: Dict[int, float] = {}
+        pending = dict(submitted)
+        for _ in range(self.max_retries + 1):
+            responses = self.pool.drain()
+            shed: Dict[int, Tuple] = {}
+            for response in responses:
+                if response.request_id not in pending:
+                    continue
+                slot = pending.pop(response.request_id)
+                if response.status == "ok":
+                    values[slot[0]] = response.value
+                else:
+                    shed[slot[0]] = slot[1]
+            if not shed and not pending:
+                break
+            for slot, args in shed.items():
+                function, p, q, weights, kwargs = args
+                rid = self.pool.submit(
+                    function, p, q, weights=weights, **kwargs
+                )
+                pending[rid] = (slot, args)
+        if pending:
+            raise CapacityError(
+                f"{len(pending)} requests still shed after "
+                f"{self.max_retries} retries; deepen the pool queues"
+            )
+        return np.array(
+            [values[i] for i in range(len(submitted))]
+        )
+
+    def compute(
+        self, function: str, p, q, *, weights=None, **kwargs
+    ) -> float:
+        rid = self.pool.submit(
+            function, p, q, weights=weights, **kwargs
+        )
+        args = (function, p, q, weights, kwargs)
+        return float(self._resolve([(rid, (0, args))])[0])
+
+    def batch(
+        self,
+        function: str,
+        query,
+        candidates: Sequence,
+        *,
+        weights=None,
+        **kwargs,
+    ) -> np.ndarray:
+        submitted = []
+        for index, candidate in enumerate(candidates):
+            rid = self.pool.submit(
+                function, query, candidate, weights=weights, **kwargs
+            )
+            args = (function, query, candidate, weights, kwargs)
+            submitted.append((rid, (index, args)))
+        return self._resolve(submitted)
+
+    def pairwise(
+        self, function: str, series: Sequence, **kwargs
+    ) -> np.ndarray:
+        arrays = [
+            as_sequence(s, f"series[{i}]")
+            for i, s in enumerate(series)
+        ]
+        k = len(arrays)
+        submitted = []
+        slots = []
+        for i in range(k):
+            for j in range(i + 1, k):
+                rid = self.pool.submit(
+                    function, arrays[i], arrays[j], **kwargs
+                )
+                args = (function, arrays[i], arrays[j], None, kwargs)
+                submitted.append((rid, (len(slots), args)))
+                slots.append((i, j))
+        values = self._resolve(submitted) if submitted else []
+        out = np.zeros((k, k))
+        for (i, j), value in zip(slots, values):
+            out[i, j] = out[j, i] = value
+        return out

@@ -112,6 +112,75 @@ class TestRowBatch:
         )
 
 
+class TestBatchMethods:
+    """The promoted DistanceAccelerator.batch / .nearest API."""
+
+    def test_batch_method_matches_individual_computes(self, chip, rng):
+        q = rng.normal(size=8)
+        cands = [rng.normal(size=8) for _ in range(5)]
+        batch = chip.batch("manhattan", q, cands)
+        for value, cand in zip(batch.values, cands):
+            assert value == pytest.approx(
+                sw.manhattan(q, cand), abs=1e-8
+            )
+
+    def test_nearest_method(self, chip, rng):
+        q = rng.normal(size=10)
+        cands = [q + rng.normal(0, s, 10) for s in (1.2, 0.05, 0.6)]
+        assert chip.nearest("manhattan", q, cands) == 1
+
+    def test_empty_candidates_ndarray_regression(self, chip, rng):
+        """An empty ndarray must raise cleanly, not trip the ambiguous
+        truth-value of ``if not candidates``."""
+        with pytest.raises(ConfigurationError, match="no candidates"):
+            chip.batch(
+                "manhattan", rng.normal(size=4), np.empty((0, 4))
+            )
+
+    def test_ndarray_candidates_accepted(self, chip, rng):
+        q = rng.normal(size=6)
+        cands = rng.normal(size=(3, 6))
+        batch = chip.batch("manhattan", q, cands)
+        for value, cand in zip(batch.values, cands):
+            assert value == pytest.approx(
+                sw.manhattan(q, cand), abs=1e-8
+            )
+
+    def test_batch_pairs_mixed_lengths(self, chip, rng):
+        pairs = [
+            (rng.normal(size=4), rng.normal(size=4)),
+            (rng.normal(size=9), rng.normal(size=9)),
+        ]
+        batch = chip.batch_pairs("manhattan", pairs)
+        for value, (p, q) in zip(batch.values, pairs):
+            assert value == pytest.approx(
+                sw.manhattan(p, q), abs=1e-8
+            )
+
+    def test_batch_pairs_per_pair_weights(self, chip, rng):
+        pairs = [
+            (rng.normal(size=5), rng.normal(size=5)) for _ in range(3)
+        ]
+        weights = [rng.uniform(0.5, 1.5, 5) for _ in range(3)]
+        batch = chip.batch_pairs("manhattan", pairs, weights=weights)
+        for value, (p, q), w in zip(batch.values, pairs, weights):
+            assert value == pytest.approx(
+                sw.manhattan(p, q, weights=w), abs=1e-8
+            )
+
+    def test_module_level_shims_warn(self, chip, rng):
+        q = rng.normal(size=6)
+        cands = [rng.normal(size=6) for _ in range(2)]
+        with pytest.warns(DeprecationWarning, match="batch"):
+            shim = compute_row_batch(chip, "manhattan", q, cands)
+        np.testing.assert_allclose(
+            shim.values, chip.batch("manhattan", q, cands).values
+        )
+        with pytest.warns(DeprecationWarning, match="nearest"):
+            index = nearest_candidate(chip, "manhattan", q, cands)
+        assert index == chip.nearest("manhattan", q, cands)
+
+
 class TestSupplyRailSaturation:
     def test_unbounded_by_default(self):
         g = BlockGraph(nonideality=IDEAL)

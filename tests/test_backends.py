@@ -1,0 +1,175 @@
+"""Conformance tests for the DistanceBackend protocol implementations."""
+
+import numpy as np
+import pytest
+
+from repro import distances as sw
+from repro.accelerator import DistanceAccelerator
+from repro.analog import IDEAL
+from repro.backends import (
+    AcceleratorBackend,
+    DistanceBackend,
+    SoftwareBackend,
+    resolve_backend,
+)
+from repro.errors import ConfigurationError
+from repro.mining.knn import KnnClassifier, leave_one_out_accuracy
+from repro.mining.subsequence import subsequence_search
+
+FUNCTIONS = ["dtw", "lcs", "edit", "hausdorff", "hamming", "manhattan"]
+
+
+def _kwargs(function):
+    return (
+        {"threshold": 0.5}
+        if function in ("lcs", "edit", "hamming")
+        else {}
+    )
+
+
+@pytest.fixture
+def ideal_backend():
+    return AcceleratorBackend(
+        DistanceAccelerator(nonideality=IDEAL, quantise_io=False)
+    )
+
+
+class TestProtocol:
+    def test_software_satisfies_protocol(self):
+        assert isinstance(SoftwareBackend(), DistanceBackend)
+
+    def test_accelerator_satisfies_protocol(self, ideal_backend):
+        assert isinstance(ideal_backend, DistanceBackend)
+
+    def test_pool_satisfies_protocol(self):
+        from repro.serving import PoolBackend
+
+        assert isinstance(PoolBackend(), DistanceBackend)
+
+    def test_resolve_names(self):
+        assert resolve_backend(None).name == "software"
+        assert resolve_backend("software").name == "software"
+        assert resolve_backend("accelerator").name == "accelerator"
+
+    def test_resolve_passthrough(self):
+        backend = SoftwareBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_rejects_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            resolve_backend("fpga")
+
+    def test_resolve_rejects_non_backend(self):
+        with pytest.raises(ConfigurationError, match="DistanceBackend"):
+            resolve_backend(42)
+
+
+class TestConformance:
+    """Software and (ideal) accelerator backends must agree."""
+
+    @pytest.mark.parametrize("function", FUNCTIONS)
+    def test_compute_agrees(self, function, ideal_backend, rng):
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        kwargs = _kwargs(function)
+        hw = ideal_backend.compute(function, p, q, **kwargs)
+        ref = SoftwareBackend().compute(function, p, q, **kwargs)
+        assert hw == pytest.approx(ref, abs=1e-8)
+
+    @pytest.mark.parametrize("function", ["hamming", "manhattan", "dtw"])
+    def test_batch_agrees(self, function, ideal_backend, rng):
+        query = rng.normal(size=6)
+        candidates = [rng.normal(size=6) for _ in range(4)]
+        kwargs = _kwargs(function)
+        hw = ideal_backend.batch(function, query, candidates, **kwargs)
+        ref = SoftwareBackend().batch(
+            function, query, candidates, **kwargs
+        )
+        np.testing.assert_allclose(hw, ref, atol=1e-8)
+
+    def test_batch_returns_array(self, rng):
+        out = SoftwareBackend().batch(
+            "manhattan", rng.normal(size=5),
+            [rng.normal(size=5) for _ in range(3)],
+        )
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (3,)
+
+    @pytest.mark.parametrize("function", ["manhattan", "hausdorff"])
+    def test_pairwise_agrees(self, function, ideal_backend, rng):
+        series = [rng.normal(size=5) for _ in range(4)]
+        hw = ideal_backend.pairwise(function, series)
+        ref = SoftwareBackend().pairwise(function, series)
+        np.testing.assert_allclose(hw, ref, atol=1e-8)
+        assert hw.shape == (4, 4)
+        np.testing.assert_allclose(hw, hw.T)
+
+    def test_weighted_compute_agrees(self, ideal_backend, rng):
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        w = rng.uniform(0.5, 1.5, 6)
+        hw = ideal_backend.compute("manhattan", p, q, weights=w)
+        assert hw == pytest.approx(
+            sw.manhattan(p, q, weights=w), abs=1e-8
+        )
+
+
+class TestMiningWiring:
+    def _toy_set(self, rng):
+        x = [rng.normal(size=6) for _ in range(9)]
+        y = [i % 3 for i in range(9)]
+        return x, y
+
+    def test_knn_backend_matches_callable_path(self, rng):
+        x, y = self._toy_set(rng)
+        queries = [rng.normal(size=6) for _ in range(4)]
+        plain = KnnClassifier(distance="manhattan").fit(x, y)
+        routed = KnnClassifier(
+            distance="manhattan", backend="software"
+        ).fit(x, y)
+        np.testing.assert_array_equal(
+            plain.predict(queries), routed.predict(queries)
+        )
+
+    def test_knn_accepts_backend_instance(self, ideal_backend, rng):
+        x, y = self._toy_set(rng)
+        clf = KnnClassifier(
+            distance="manhattan", backend=ideal_backend
+        ).fit(x, y)
+        plain = KnnClassifier(distance="manhattan").fit(x, y)
+        query = rng.normal(size=6)
+        assert clf.predict_one(query) == plain.predict_one(query)
+
+    def test_knn_backend_rejects_callable_distance(self, rng):
+        with pytest.raises(ConfigurationError, match="registered"):
+            KnnClassifier(
+                distance=sw.manhattan, backend="software"
+            )
+
+    def test_leave_one_out_backend(self, rng):
+        x, y = self._toy_set(rng)
+        plain = leave_one_out_accuracy(x, y, distance="manhattan")
+        routed = leave_one_out_accuracy(
+            x, y, distance="manhattan", backend="software"
+        )
+        assert plain == routed
+
+    def test_subsequence_backend_matches_default(self, rng):
+        series = rng.normal(size=40)
+        query = series[12:20]
+        plain = subsequence_search(series, query, band=0.2)
+        routed = subsequence_search(
+            series, query, band=0.2, backend="software"
+        )
+        assert routed.best_index == plain.best_index
+        assert routed.best_distance == pytest.approx(
+            plain.best_distance
+        )
+
+    def test_subsequence_rejects_both_overrides(self, rng):
+        series = rng.normal(size=20)
+        with pytest.raises(ConfigurationError, match="not both"):
+            subsequence_search(
+                series,
+                series[:5],
+                dtw_fn=sw.dtw,
+                backend="software",
+            )

@@ -8,7 +8,7 @@ graphs implement Eq. (2)-(7) and not an approximation of them.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro import distances as sw
 from repro.accelerator import (
@@ -24,6 +24,19 @@ values = st.floats(min_value=-4.0, max_value=4.0, allow_nan=False)
 
 def seq(min_size=1, max_size=10):
     return st.lists(values, min_size=min_size, max_size=max_size)
+
+
+def comparator_well_posed(p, q, thr) -> bool:
+    """No ``|p_i - q_j|`` sits within float-rounding reach of ``thr``.
+
+    The chip compares *encoded voltages* (values scaled by the
+    resolution) while the software compares the raw values, so a pair
+    landing exactly on — or within an ULP of — the threshold can
+    legitimately decide either way.  The exact-agreement property only
+    holds where the comparator decision is well-conditioned.
+    """
+    diffs = np.abs(np.subtract.outer(np.asarray(p), np.asarray(q)))
+    return bool(np.all(np.abs(diffs - thr) > 1e-9 * max(thr, 1.0)))
 
 
 def pair_equal(max_size=10):
@@ -45,6 +58,7 @@ class TestIdealChipEqualsSoftware:
     @given(p=seq(), q=seq(), thr=st.floats(min_value=0.0, max_value=2.0))
     @settings(max_examples=30, deadline=None)
     def test_lcs(self, p, q, thr):
+        assume(comparator_well_posed(p, q, thr))
         hw = CHIP.compute("lcs", p, q, threshold=thr).value
         assert hw == pytest.approx(
             sw.lcs(p, q, threshold=thr), abs=1e-8
@@ -53,6 +67,7 @@ class TestIdealChipEqualsSoftware:
     @given(p=seq(), q=seq(), thr=st.floats(min_value=0.0, max_value=2.0))
     @settings(max_examples=30, deadline=None)
     def test_edit(self, p, q, thr):
+        assume(comparator_well_posed(p, q, thr))
         hw = CHIP.compute("edit", p, q, threshold=thr).value
         assert hw == pytest.approx(
             sw.edit(p, q, threshold=thr), abs=1e-8
@@ -68,6 +83,7 @@ class TestIdealChipEqualsSoftware:
     @settings(max_examples=30, deadline=None)
     def test_hamming(self, pq, thr):
         p, q = pq
+        assume(comparator_well_posed(p, q, thr))
         hw = CHIP.compute("hamming", p, q, threshold=thr).value
         assert hw == pytest.approx(
             sw.hamming(p, q, threshold=thr), abs=1e-8
