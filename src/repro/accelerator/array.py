@@ -16,9 +16,12 @@ result.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..check import CheckReport
 
 from ..analog import (
     BlockGraph,
@@ -109,6 +112,14 @@ class DistanceAccelerator:
     quantise_io:
         Model DAC/ADC quantisation (disable for ideal-converter
         ablations).
+    validate:
+        Run the static electrical rule checker (:mod:`repro.check`)
+        over the parameters and the configuration library at
+        construction, raising
+        :class:`~repro.errors.ElectricalRuleError` on any
+        error-severity diagnostic.  A mis-configured chip would not
+        crash — it would return plausible wrong distances — so the
+        default is fail-fast.
     """
 
     def __init__(
@@ -119,6 +130,7 @@ class DistanceAccelerator:
         dac: Optional[DacArray] = None,
         adc: Optional[AdcArray] = None,
         quantise_io: bool = True,
+        validate: bool = True,
     ) -> None:
         self.params = params
         self.nonideality = nonideality
@@ -126,6 +138,21 @@ class DistanceAccelerator:
         self.dac = dac if dac is not None else DacArray()
         self.adc = adc if adc is not None else AdcArray()
         self.quantise_io = quantise_io
+        if validate:
+            self.self_check().raise_if_errors(
+                "DistanceAccelerator construction"
+            )
+
+    def self_check(self, deep: bool = False) -> "CheckReport":
+        """Static ERC report for this instance (see :mod:`repro.check`).
+
+        ``deep=True`` additionally smoke-builds every function's block
+        graph and runs the graph-level rules — the same pass the
+        ``repro check`` CLI performs.
+        """
+        from ..check import check_accelerator
+
+        return check_accelerator(self, deep=deep)
 
     # -- helpers -----------------------------------------------------------
     def _new_graph(self) -> BlockGraph:

@@ -153,7 +153,7 @@ class AcceleratorController:
         weighted_pes_per_switch: int = 0,
     ) -> ControllerReport:
         """Execute all jobs; account reconfiguration + compute time."""
-        if not jobs:
+        if len(jobs) == 0:
             raise ConfigurationError("no jobs to run")
         order = self.plan(jobs, reorder=reorder)
         results: List[Optional[AcceleratorResult]] = [None] * len(jobs)

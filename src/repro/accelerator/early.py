@@ -90,7 +90,7 @@ def early_rank(
             "early determination applies to the row structure "
             "(manhattan / hamming) only"
         )
-    if not candidates:
+    if len(candidates) == 0:
         raise ConfigurationError("need at least one candidate")
     if not 0.0 < early_fraction <= 1.0:
         raise ConfigurationError("early_fraction must be in (0, 1]")

@@ -164,7 +164,7 @@ class BlockGraph:
         ``precision=True`` marks stages whose ratio is tuned to the
         verify floor (see :meth:`_weight_error`).
         """
-        if not terms:
+        if len(terms) == 0:
             raise ConfigurationError("lin block needs at least one term")
         inputs = tuple(t[0] for t in terms)
         weights = tuple(
@@ -215,7 +215,7 @@ class BlockGraph:
 
     def maximum(self, inputs: Sequence[int], label: str = "") -> int:
         """Diode max selector."""
-        if not inputs:
+        if len(inputs) == 0:
             raise ConfigurationError("max block needs inputs")
         return self._add(
             _Block(
@@ -234,7 +234,7 @@ class BlockGraph:
         The hardware spends two extra subtractor inversions around the
         diode stage, so the settling is op-amp-class, not diode-class.
         """
-        if not inputs:
+        if len(inputs) == 0:
             raise ConfigurationError("min block needs inputs")
         gain, offset = self._amp_errors(noise_gain=2.0)
         offset += self.nonideality.diode_drop

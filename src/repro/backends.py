@@ -24,12 +24,23 @@ service stub, a recorded-trace mock — slots in identically.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from .distances.base import get_distance, pairwise_matrix
 from .errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from .accelerator import DistanceAccelerator
 
 
 @runtime_checkable
@@ -39,7 +50,13 @@ class DistanceBackend(Protocol):
     name: str
 
     def compute(
-        self, function: str, p, q, *, weights=None, **kwargs
+        self,
+        function: str,
+        p: ArrayLike,
+        q: ArrayLike,
+        *,
+        weights: Optional[ArrayLike] = None,
+        **kwargs: Any,
     ) -> float:
         """One distance between ``p`` and ``q``."""
         ...
@@ -47,18 +64,21 @@ class DistanceBackend(Protocol):
     def batch(
         self,
         function: str,
-        query,
-        candidates: Sequence,
+        query: ArrayLike,
+        candidates: Sequence[ArrayLike],
         *,
-        weights=None,
-        **kwargs,
-    ) -> np.ndarray:
+        weights: Optional[ArrayLike] = None,
+        **kwargs: Any,
+    ) -> NDArray[np.float64]:
         """Distances from ``query`` to every candidate."""
         ...
 
     def pairwise(
-        self, function: str, series: Sequence, **kwargs
-    ) -> np.ndarray:
+        self,
+        function: str,
+        series: Sequence[ArrayLike],
+        **kwargs: Any,
+    ) -> NDArray[np.float64]:
         """Symmetric distance matrix over ``series``."""
         ...
 
@@ -69,7 +89,13 @@ class SoftwareBackend:
     name = "software"
 
     def compute(
-        self, function: str, p, q, *, weights=None, **kwargs
+        self,
+        function: str,
+        p: ArrayLike,
+        q: ArrayLike,
+        *,
+        weights: Optional[ArrayLike] = None,
+        **kwargs: Any,
     ) -> float:
         fn = get_distance(function).fn
         if weights is not None:
@@ -79,25 +105,32 @@ class SoftwareBackend:
     def batch(
         self,
         function: str,
-        query,
-        candidates: Sequence,
+        query: ArrayLike,
+        candidates: Sequence[ArrayLike],
         *,
-        weights=None,
-        **kwargs,
-    ) -> np.ndarray:
+        weights: Optional[ArrayLike] = None,
+        **kwargs: Any,
+    ) -> NDArray[np.float64]:
         return np.array(
             [
                 self.compute(
                     function, query, c, weights=weights, **kwargs
                 )
                 for c in candidates
-            ]
+            ],
+            dtype=np.float64,
         )
 
     def pairwise(
-        self, function: str, series: Sequence, **kwargs
-    ) -> np.ndarray:
-        return pairwise_matrix(function, list(series), **kwargs)
+        self,
+        function: str,
+        series: Sequence[ArrayLike],
+        **kwargs: Any,
+    ) -> NDArray[np.float64]:
+        return np.asarray(
+            pairwise_matrix(function, list(series), **kwargs),
+            dtype=np.float64,
+        )
 
 
 class AcceleratorBackend:
@@ -111,7 +144,9 @@ class AcceleratorBackend:
 
     name = "accelerator"
 
-    def __init__(self, accelerator=None) -> None:
+    def __init__(
+        self, accelerator: "Optional[DistanceAccelerator]" = None
+    ) -> None:
         if accelerator is None:
             from .accelerator import DistanceAccelerator
 
@@ -119,7 +154,13 @@ class AcceleratorBackend:
         self.accelerator = accelerator
 
     def compute(
-        self, function: str, p, q, *, weights=None, **kwargs
+        self,
+        function: str,
+        p: ArrayLike,
+        q: ArrayLike,
+        *,
+        weights: Optional[ArrayLike] = None,
+        **kwargs: Any,
     ) -> float:
         return float(
             self.accelerator.compute(
@@ -130,12 +171,12 @@ class AcceleratorBackend:
     def batch(
         self,
         function: str,
-        query,
-        candidates: Sequence,
+        query: ArrayLike,
+        candidates: Sequence[ArrayLike],
         *,
-        weights=None,
-        **kwargs,
-    ) -> np.ndarray:
+        weights: Optional[ArrayLike] = None,
+        **kwargs: Any,
+    ) -> NDArray[np.float64]:
         from .accelerator.configurations import get_config
 
         config = get_config(function)
@@ -145,27 +186,34 @@ class AcceleratorBackend:
             <= self.accelerator.params.array_cols
         )
         if fits:
-            return self.accelerator.batch(
-                function, query, candidates, weights=weights, **kwargs
-            ).values
+            return np.asarray(
+                self.accelerator.batch(
+                    function, query, candidates, weights=weights, **kwargs
+                ).values,
+                dtype=np.float64,
+            )
         return np.array(
             [
                 self.compute(
                     function, query, c, weights=weights, **kwargs
                 )
                 for c in candidates
-            ]
+            ],
+            dtype=np.float64,
         )
 
     def pairwise(
-        self, function: str, series: Sequence, **kwargs
-    ) -> np.ndarray:
+        self,
+        function: str,
+        series: Sequence[ArrayLike],
+        **kwargs: Any,
+    ) -> NDArray[np.float64]:
         from .accelerator import AcceleratorController
 
         matrix, _ = AcceleratorController(self.accelerator).pairwise(
             function, series, **kwargs
         )
-        return matrix
+        return np.asarray(matrix, dtype=np.float64)
 
 
 def resolve_backend(

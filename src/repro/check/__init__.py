@@ -1,0 +1,49 @@
+"""Static verification layer (electrical rule checker).
+
+Pure-static passes that catch silently-wrong-analog-answer bugs before
+any simulation runs:
+
+* :func:`check_circuit` — ERC0xx rules over SPICE netlists
+  (:class:`repro.spice.Circuit`): dangling nodes, voltage-source
+  loops, sense-only op-amp inputs, non-positive R/C, memristors
+  programmed outside their Ron-Roff weight-encoding range.
+* :func:`check_block_graph` — ERC1xx rules over analog block DAGs
+  (:class:`repro.analog.BlockGraph`): dead blocks, missing outputs,
+  settling vs. the transient window, DAC-range consts, comparator
+  rails, weight-to-memristor-ratio encodability.
+* :func:`check_function_config` / :func:`check_accelerator` — ERC2xx
+  rules over configuration-library entries and whole accelerator
+  instances; ``deep=True`` smoke-builds each function's graph and
+  re-runs the ERC1xx rules on it.
+
+``repro check`` (see :mod:`repro.cli`) drives all of the above for the
+six built-in distance functions; :class:`DistanceAccelerator` and
+:class:`repro.serving.AcceleratorPool` run :func:`check_accelerator`
+fail-fast at construction/startup.
+"""
+
+from .config_check import (
+    check_accelerator,
+    check_function_config,
+    check_params,
+)
+from .diagnostics import (
+    CheckReport,
+    Diagnostic,
+    RULE_CATALOGUE,
+    Severity,
+)
+from .erc import check_circuit
+from .graph_check import check_block_graph
+
+__all__ = [
+    "CheckReport",
+    "Diagnostic",
+    "RULE_CATALOGUE",
+    "Severity",
+    "check_accelerator",
+    "check_block_graph",
+    "check_circuit",
+    "check_function_config",
+    "check_params",
+]

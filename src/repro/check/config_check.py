@@ -1,0 +1,272 @@
+"""Static validity checks for accelerator configurations.
+
+The paper's array computes a different distance by *rewiring* one PE
+primitive per Fig. 2 — so a broken entry in the configuration library
+(wrong structure tag, resource counts beyond the Section 3.1 unified
+PE inventory, a decode mode the ADC cannot honour) produces silently
+wrong distances for every job routed at it.  Rules:
+
+========  ========  ====================================================
+code      severity  rule
+========  ========  ====================================================
+ERC201    error     unknown PE interconnect structure
+ERC202    error     resources exceed the unified PE inventory
+ERC203    error     graph builder missing or not callable
+ERC204    error     unknown output decode mode
+ERC205    error     inconsistent voltage scales (v_step, threshold,
+                    supply, array dimensions)
+ERC206    error     DAC/ADC full scale below one encoding unit
+ERC207    error     threshold use inconsistent with the decode mode
+========  ========  ====================================================
+
+``check_function_config(..., deep=True)`` additionally builds a small
+instance of the function's block graph and runs the ERC1xx rules of
+:mod:`repro.check.graph_check` over it — the full static pipeline the
+``repro check`` CLI exercises for all six functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from ..accelerator.configurations import (
+    CONFIG_LIBRARY,
+    FunctionConfig,
+    UNIFIED_PE,
+    get_config,
+)
+from ..accelerator.params import AcceleratorParameters, PAPER_PARAMS
+from .diagnostics import CheckReport, Severity, register_rule
+from .graph_check import check_block_graph
+
+ERC201 = register_rule("ERC201", "unknown PE interconnect structure")
+ERC202 = register_rule(
+    "ERC202", "resources exceed the unified PE inventory"
+)
+ERC203 = register_rule("ERC203", "graph builder missing/not callable")
+ERC204 = register_rule("ERC204", "unknown output decode mode")
+ERC205 = register_rule("ERC205", "inconsistent voltage/array scales")
+ERC206 = register_rule(
+    "ERC206", "converter full scale below one encoding unit"
+)
+ERC207 = register_rule(
+    "ERC207", "threshold use inconsistent with decode mode"
+)
+
+#: Sequence length of the smoke-build used by deep checks: large
+#: enough to exercise boundary cells, recurrences and the row adder.
+_DEEP_CHECK_LENGTH = 3
+
+
+def check_params(
+    params: AcceleratorParameters,
+    dac_full_scale: Optional[float] = None,
+    adc_full_scale: Optional[float] = None,
+) -> CheckReport:
+    """Electrical consistency of one parameter set (ERC205/ERC206)."""
+    report = CheckReport()
+    where = "params"
+    if params.vcc <= 0:
+        report.add(
+            ERC205, Severity.ERROR, "vcc must be positive", where
+        )
+    if params.voltage_resolution <= 0 or params.v_step <= 0:
+        report.add(
+            ERC205,
+            Severity.ERROR,
+            "voltage_resolution and v_step must be positive",
+            where,
+        )
+    elif params.v_step > params.voltage_resolution:
+        report.add(
+            ERC205,
+            Severity.ERROR,
+            f"v_step {params.v_step:.6g} V exceeds "
+            f"voltage_resolution {params.voltage_resolution:.6g} V; "
+            "counting outputs would overflow the encoding grid "
+            "(Section 4.1 sizes the unit step below the resolution)",
+            where,
+        )
+    if params.v_threshold < 0:
+        report.add(
+            ERC205,
+            Severity.ERROR,
+            f"v_threshold {params.v_threshold:.6g} V is negative; "
+            "|a-b| never undercuts it",
+            where,
+        )
+    elif params.v_threshold >= params.vcc:
+        report.add(
+            ERC205,
+            Severity.ERROR,
+            f"v_threshold {params.v_threshold:.6g} V is at/beyond the "
+            f"supply {params.vcc:.6g} V; the comparator reference is "
+            "unreachable",
+            where,
+        )
+    if params.array_rows < 1 or params.array_cols < 1:
+        report.add(
+            ERC205,
+            Severity.ERROR,
+            "PE array must be at least 1x1",
+            where,
+        )
+
+    unit = max(params.voltage_resolution, params.v_step)
+    for label, full_scale in (
+        ("DAC", dac_full_scale),
+        ("ADC", adc_full_scale),
+    ):
+        if full_scale is not None and full_scale < unit:
+            report.add(
+                ERC206,
+                Severity.ERROR,
+                f"{label} full scale {full_scale:.6g} V is below one "
+                f"encoding unit {unit:.6g} V; not even +/-1 is "
+                "representable",
+                where,
+            )
+    return report
+
+
+def check_function_config(
+    config: Union[str, FunctionConfig],
+    params: AcceleratorParameters = PAPER_PARAMS,
+    deep: bool = False,
+) -> CheckReport:
+    """Validity of one configuration-library entry.
+
+    ``deep=True`` smoke-builds the function's block graph at length
+    ``3`` (with uniform weights and the paper's threshold) and runs the
+    ERC1xx graph rules over it.
+    """
+    if isinstance(config, str):
+        config = get_config(config)
+    report = CheckReport()
+    where = f"config {config.name}"
+
+    if config.structure not in ("matrix", "row"):
+        report.add(
+            ERC201,
+            Severity.ERROR,
+            f"unknown structure {config.structure!r} "
+            "(expected 'matrix' or 'row')",
+            where,
+        )
+    if config.decode not in ("resolution", "steps"):
+        report.add(
+            ERC204,
+            Severity.ERROR,
+            f"unknown decode mode {config.decode!r} "
+            "(expected 'resolution' or 'steps')",
+            where,
+        )
+    if not callable(config.builder):
+        report.add(
+            ERC203,
+            Severity.ERROR,
+            f"builder {config.builder!r} is not callable",
+            where,
+        )
+    if not config.resources.fits_unified_pe():
+        report.add(
+            ERC202,
+            Severity.ERROR,
+            f"resources {config.resources!r} exceed the Section 3.1 "
+            f"unified PE inventory {UNIFIED_PE!r}; the configuration "
+            "cannot be wired from one PE",
+            where,
+        )
+    if config.uses_threshold and config.decode != "steps":
+        report.add(
+            ERC207,
+            Severity.ERROR,
+            "thresholded (match-counting) functions must decode in "
+            f"counting steps, not {config.decode!r}",
+            where,
+        )
+    if not config.uses_threshold and config.decode == "steps":
+        report.add(
+            ERC207,
+            Severity.ERROR,
+            "step-decoded functions count threshold matches; "
+            "uses_threshold must be set",
+            where,
+        )
+
+    if deep and not report.has_errors:
+        report.extend(_deep_check(config, params))
+    return report
+
+
+def _deep_check(
+    config: FunctionConfig, params: AcceleratorParameters
+) -> CheckReport:
+    """Smoke-build the function's graph and run the ERC1xx rules."""
+    from ..analog import BlockGraph
+
+    n = _DEEP_CHECK_LENGTH
+    graph = BlockGraph()
+    rng = np.random.default_rng(0)
+    pv = params.encode(rng.uniform(-1.0, 1.0, size=n))
+    qv = params.encode(rng.uniform(-1.0, 1.0, size=n))
+    p_ids = [graph.const(v) for v in pv]
+    q_ids = [graph.const(v) for v in qv]
+    if config.structure == "row":
+        weights = np.ones(n)
+    else:
+        weights = np.ones((n, n))
+    kwargs = (
+        {"threshold_v": params.v_threshold}
+        if config.uses_threshold
+        else {}
+    )
+    out = config.builder(graph, p_ids, q_ids, weights, params, **kwargs)
+    graph.mark_output("out", out)
+    # The window the engine itself would use (see early.py / engine.py
+    # sizing); ERC103 proves the graph settles inside it.
+    frozen = graph.freeze()
+    window = max(
+        14.0 * float(np.max(frozen.critical_tau)),
+        60.0 * float(np.max(frozen.tau)),
+    )
+    return check_block_graph(
+        graph, supply_rail=params.vcc, window_s=window
+    )
+
+
+def check_accelerator(
+    accelerator: object,
+    functions: Optional[Iterable[str]] = None,
+    deep: bool = False,
+) -> CheckReport:
+    """Full static verification of one accelerator instance.
+
+    Checks the instance's electrical parameters against its converter
+    specs, then every requested configuration-library entry (default:
+    all six).  Used fail-fast at
+    :class:`~repro.accelerator.DistanceAccelerator` construction and at
+    :class:`~repro.serving.AcceleratorPool` startup.
+    """
+    params = getattr(accelerator, "params", PAPER_PARAMS)
+    dac = getattr(accelerator, "dac", None)
+    adc = getattr(accelerator, "adc", None)
+    report = check_params(
+        params,
+        dac_full_scale=(
+            float(dac.spec.full_scale) if dac is not None else None
+        ),
+        adc_full_scale=(
+            float(adc.spec.full_scale) if adc is not None else None
+        ),
+    )
+    names = (
+        list(functions) if functions is not None else sorted(CONFIG_LIBRARY)
+    )
+    for name in names:
+        report.extend(
+            check_function_config(name, params=params, deep=deep)
+        )
+    return report

@@ -1,0 +1,170 @@
+"""Diagnostic records shared by every static checker.
+
+A :class:`Diagnostic` is one coded finding (``ERC0xx``) with a
+severity, a human message, and the name of the circuit element, graph
+block, or configuration it anchors to.  A :class:`CheckReport` is an
+ordered bag of diagnostics with filtering, rendering, JSON export, and
+a fail-fast helper (:meth:`CheckReport.raise_if_errors`) used at
+:class:`~repro.accelerator.DistanceAccelerator` construction and at
+pool startup.
+
+The rule catalogue lives in :data:`RULE_CATALOGUE`; every checker
+registers its codes there so ``repro check --json`` can emit the
+catalogue alongside the findings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..errors import ElectricalRuleError
+
+
+class Severity(enum.IntEnum):
+    """Ranked severity of a diagnostic (higher = worse)."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: code -> one-line description, populated by the checker modules.
+RULE_CATALOGUE: Dict[str, str] = {}
+
+
+def register_rule(code: str, description: str) -> str:
+    """Register a rule code in the catalogue; returns the code."""
+    RULE_CATALOGUE[code] = description
+    return code
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One coded finding of a static check.
+
+    Attributes
+    ----------
+    code:
+        Rule identifier (``ERC001`` ... ).
+    severity:
+        :class:`Severity` rank.
+    message:
+        Human-readable explanation of this particular finding.
+    where:
+        The element / node / block / configuration the finding anchors
+        to (e.g. ``"node vx"``, ``"block 12 (lin)"``, ``"config dtw"``).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    where: str = ""
+
+    def render(self) -> str:
+        location = f" [{self.where}]" if self.where else ""
+        return f"{self.code} {self.severity}:{location} {self.message}"
+
+    def as_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "where": self.where,
+        }
+
+
+class CheckReport:
+    """An ordered collection of diagnostics from one check pass."""
+
+    def __init__(
+        self, diagnostics: Optional[Iterable[Diagnostic]] = None
+    ) -> None:
+        self.diagnostics: List[Diagnostic] = list(diagnostics or [])
+
+    # -- building ---------------------------------------------------------
+    def add(
+        self,
+        code: str,
+        severity: Severity,
+        message: str,
+        where: str = "",
+    ) -> Diagnostic:
+        diagnostic = Diagnostic(code, severity, message, where)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "CheckReport") -> "CheckReport":
+        self.diagnostics.extend(other.diagnostics)
+        return self
+
+    # -- querying ---------------------------------------------------------
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(
+            d.severity >= Severity.ERROR for d in self.diagnostics
+        )
+
+    # -- consumption ------------------------------------------------------
+    def raise_if_errors(self, context: str = "") -> None:
+        """Raise :class:`ElectricalRuleError` when any ERROR is present.
+
+        The exception message lists every error-severity diagnostic so
+        a failed construction names all problems at once, not just the
+        first.
+        """
+        errors = self.errors
+        if not errors:
+            return
+        prefix = f"{context}: " if context else ""
+        lines = "; ".join(d.render() for d in errors)
+        raise ElectricalRuleError(
+            f"{prefix}{len(errors)} electrical rule violation(s): "
+            f"{lines}"
+        )
+
+    def render(self) -> str:
+        """Multi-line human-readable listing (sorted worst-first)."""
+        if not self.diagnostics:
+            return "no diagnostics"
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (-int(d.severity), d.code, d.where),
+        )
+        return "\n".join(d.render() for d in ordered)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "n_diagnostics": len(self.diagnostics),
+            "n_errors": len(self.errors),
+            "n_warnings": len(self.warnings),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent)

@@ -1,0 +1,340 @@
+"""Electrical rule checker for :class:`repro.spice.Circuit` netlists.
+
+A mis-wired netlist rarely crashes the MNA solver — it converges to a
+*plausible but wrong* operating point, the silent failure mode analog
+accelerators are notorious for.  These rules catch, before Newton ever
+runs, the wiring classes that make the MNA system singular or the
+analog answer meaningless:
+
+========  ========  ====================================================
+code      severity  rule
+========  ========  ====================================================
+ERC001    error     dangling node: exactly one conducting terminal
+ERC002    error     voltage-source loop (incl. parallel V/E sources)
+ERC003    error     sense-only input (op-amp/comparator/vswitch control
+                    node with no conducting element — floats undefined)
+ERC004    error     zero/negative resistance, capacitance or switch
+                    on/off resistance (post-construction mutation)
+ERC005    error     memristor resistance outside its own [Ron, Roff]
+                    weight-encoding range
+ERC006    error     no ground reference anywhere in the circuit
+ERC007    warning   constant source value is NaN/inf
+========  ========  ====================================================
+
+All rules are pure static passes over the element lists; nothing is
+solved or simulated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from ..spice.netlist import Circuit
+from .diagnostics import CheckReport, Severity, register_rule
+
+ERC001 = register_rule(
+    "ERC001", "dangling node (single conducting terminal)"
+)
+ERC002 = register_rule(
+    "ERC002", "voltage-source loop or parallel voltage sources"
+)
+ERC003 = register_rule(
+    "ERC003", "sense-only input node (dangling op-amp/comparator input)"
+)
+ERC004 = register_rule(
+    "ERC004", "non-positive resistance/capacitance value"
+)
+ERC005 = register_rule(
+    "ERC005", "memristor resistance outside its [Ron, Roff] range"
+)
+ERC006 = register_rule("ERC006", "circuit has no ground reference")
+ERC007 = register_rule("ERC007", "non-finite constant source value")
+
+#: Relative slack on the Ron/Roff bound: tuning converges to the range
+#: boundary itself (HRS/LRS programming), so exact endpoints are legal.
+_MEMRISTOR_RANGE_RTOL = 1.0e-9
+
+
+def _conducting_terminals(circuit: Circuit) -> List[Tuple[str, str]]:
+    """(element name, node) pairs that source/sink current at the node.
+
+    VCVS / comparator *outputs* drive current; their control inputs
+    only sense voltage and are collected separately by
+    :func:`_sense_terminals`.  The vswitch control gate likewise only
+    senses.
+    """
+    pairs: List[Tuple[str, str]] = []
+    for r in circuit.resistors:
+        pairs += [(r.name, r.n1), (r.name, r.n2)]
+    for c in circuit.capacitors:
+        pairs += [(c.name, c.n1), (c.name, c.n2)]
+    for v in circuit.vsources:
+        pairs += [(v.name, v.n_plus), (v.name, v.n_minus)]
+    for i in circuit.isources:
+        pairs += [(i.name, i.n_plus), (i.name, i.n_minus)]
+    for e in circuit.vcvs:
+        pairs += [(e.name, e.out_plus), (e.name, e.out_minus)]
+    for d in circuit.diodes:
+        pairs += [(d.name, d.anode), (d.name, d.cathode)]
+    for s in circuit.switches:
+        pairs += [(s.name, s.n1), (s.name, s.n2)]
+    for m in circuit.memristors:
+        pairs += [(m.name, m.n1), (m.name, m.n2)]
+    for cmp_ in circuit.comparators:
+        pairs += [(cmp_.name, cmp_.out)]
+    for vsw in circuit.vswitches:
+        pairs += [(vsw.name, vsw.n1), (vsw.name, vsw.n2)]
+    return pairs
+
+
+def _sense_terminals(circuit: Circuit) -> List[Tuple[str, str]]:
+    """(element name, node) pairs that observe a voltage only."""
+    pairs: List[Tuple[str, str]] = []
+    for e in circuit.vcvs:
+        pairs += [(e.name, e.ctrl_plus), (e.name, e.ctrl_minus)]
+    for cmp_ in circuit.comparators:
+        pairs += [(cmp_.name, cmp_.in_plus), (cmp_.name, cmp_.in_minus)]
+    for vsw in circuit.vswitches:
+        pairs += [(vsw.name, vsw.ctrl)]
+    return pairs
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[str, str] = {}
+
+    def find(self, node: str) -> str:
+        parent = self._parent.setdefault(node, node)
+        if parent != node:
+            parent = self.find(parent)
+            self._parent[node] = parent
+        return parent
+
+    def union(self, a: str, b: str) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[ra] = rb
+        return True
+
+
+def _canon(circuit: Circuit, node: str) -> str:
+    """Collapse every ground spelling onto one representative."""
+    return "0" if circuit.is_ground(node) else node
+
+
+def check_circuit(circuit: Circuit) -> CheckReport:
+    """Run every netlist ERC rule; returns the combined report."""
+    report = CheckReport()
+    conducting = _conducting_terminals(circuit)
+    sensing = _sense_terminals(circuit)
+
+    # ERC006: some terminal must reference ground or the MNA matrix has
+    # no voltage reference and is singular regardless of topology.
+    grounded = any(
+        circuit.is_ground(node) for _, node in conducting
+    )
+    if conducting and not grounded:
+        report.add(
+            ERC006,
+            Severity.ERROR,
+            "no element terminal connects to ground ('0'/'gnd'); "
+            "the MNA system has no voltage reference",
+            circuit.title,
+        )
+
+    # ERC001 / ERC003: per-node terminal census.  Nodes pinned by a
+    # voltage-defined branch (V source, VCVS output, comparator
+    # output) are never floating — an unloaded source output is legal.
+    voltage_driven = {
+        _canon(circuit, node)
+        for v in circuit.vsources
+        for node in (v.n_plus, v.n_minus)
+    }
+    voltage_driven |= {
+        _canon(circuit, node)
+        for e in circuit.vcvs
+        for node in (e.out_plus, e.out_minus)
+    }
+    voltage_driven |= {
+        _canon(circuit, c.out) for c in circuit.comparators
+    }
+    degree: Dict[str, int] = {}
+    touched_by: Dict[str, List[str]] = {}
+    for name, node in conducting:
+        node = _canon(circuit, node)
+        degree[node] = degree.get(node, 0) + 1
+        touched_by.setdefault(node, []).append(name)
+    for node in circuit.nodes:
+        node_c = _canon(circuit, node)
+        count = degree.get(node_c, 0)
+        sensors = [n for n, m in sensing if _canon(circuit, m) == node_c]
+        if node_c in voltage_driven:
+            continue
+        if count == 0 and sensors:
+            report.add(
+                ERC003,
+                Severity.ERROR,
+                f"node {node!r} is only sensed (by "
+                f"{', '.join(sorted(set(sensors)))}) but nothing "
+                "drives or loads it; its voltage is undefined",
+                f"node {node}",
+            )
+        elif count == 1 and not sensors:
+            report.add(
+                ERC001,
+                Severity.ERROR,
+                f"node {node!r} dangles from a single terminal of "
+                f"{touched_by[node_c][0]!r}; no current path exists",
+                f"node {node}",
+            )
+
+    # ERC002: loops made purely of voltage-defined branches (independent
+    # V sources, VCVS outputs, comparator outputs) over-determine the
+    # node voltages: two parallel sources are the 2-cycle case.
+    uf = _UnionFind()
+    v_branches: List[Tuple[str, str, str]] = [
+        (v.name, v.n_plus, v.n_minus) for v in circuit.vsources
+    ]
+    v_branches += [
+        (e.name, e.out_plus, e.out_minus) for e in circuit.vcvs
+    ]
+    v_branches += [
+        (c.name, c.out, "0") for c in circuit.comparators
+    ]
+    for name, n_plus, n_minus in v_branches:
+        a, b = _canon(circuit, n_plus), _canon(circuit, n_minus)
+        if a == b or not uf.union(a, b):
+            report.add(
+                ERC002,
+                Severity.ERROR,
+                f"voltage-defined branch {name!r} closes a loop of "
+                "voltage sources (or shorts its own terminals); the "
+                "MNA system is singular",
+                f"element {name}",
+            )
+
+    # ERC004: element values (constructors validate, but elements are
+    # mutable records — catch post-construction edits too).
+    for r in circuit.resistors:
+        if not r.resistance > 0:
+            report.add(
+                ERC004,
+                Severity.ERROR,
+                f"resistor {r.name!r} has non-positive resistance "
+                f"{r.resistance!r}",
+                f"element {r.name}",
+            )
+    for c in circuit.capacitors:
+        if not c.capacitance > 0:
+            report.add(
+                ERC004,
+                Severity.ERROR,
+                f"capacitor {c.name!r} has non-positive capacitance "
+                f"{c.capacitance!r}",
+                f"element {c.name}",
+            )
+    for s in circuit.switches:
+        if not (s.r_on > 0 and s.r_off > 0):
+            report.add(
+                ERC004,
+                Severity.ERROR,
+                f"switch {s.name!r} has non-positive on/off "
+                f"resistance ({s.r_on!r}/{s.r_off!r})",
+                f"element {s.name}",
+            )
+    for d in circuit.diodes:
+        if not (d.g_on > 0 and d.g_off > 0):
+            report.add(
+                ERC004,
+                Severity.ERROR,
+                f"diode {d.name!r} has non-positive conductance "
+                f"({d.g_on!r}/{d.g_off!r})",
+                f"element {d.name}",
+            )
+
+    # ERC005: a memristor programmed outside its own [Ron, Roff] cannot
+    # encode the weight it stands for — the ratio silently saturates.
+    for m in circuit.memristors:
+        device = m.device
+        resistance = float(device.resistance)
+        r_on = float(device.params.r_on)
+        r_off = float(device.params.r_off)
+        slack = _MEMRISTOR_RANGE_RTOL * r_off
+        if not (r_on - slack <= resistance <= r_off + slack):
+            report.add(
+                ERC005,
+                Severity.ERROR,
+                f"memristor {m.name!r} resistance {resistance:.6g} ohm "
+                f"is outside its weight-encoding range "
+                f"[{r_on:.6g}, {r_off:.6g}] ohm",
+                f"element {m.name}",
+            )
+
+    # ERC007: constant waveforms must be finite numbers.
+    sources: List[Tuple[str, object]] = [
+        (v.name, v.value) for v in circuit.vsources
+    ]
+    sources += [(i.name, i.value) for i in circuit.isources]
+    for name, value in sources:
+        if isinstance(value, Callable):  # time-varying: checked at runtime
+            continue
+        if not math.isfinite(float(value)):
+            report.add(
+                ERC007,
+                Severity.WARNING,
+                f"source {name!r} has non-finite value {value!r}",
+                f"element {name}",
+            )
+
+    return report
+
+
+def demo_pe_netlists() -> Dict[str, Circuit]:
+    """Representative driven PE netlists for each Fig. 2 circuit class.
+
+    Used by ``repro check --spice`` (and the test suite) to prove the
+    shipping SPICE builders are ERC-clean end to end.
+    """
+    from ..spice.pe_circuits import (
+        build_dtw_pe,
+        build_hamming_pe,
+        build_lcs_pe,
+        build_manhattan_pe,
+    )
+
+    netlists: Dict[str, Circuit] = {}
+
+    c = Circuit("manhattan_pe")
+    c.add_vsource("vp", "p", "0", 0.02)
+    c.add_vsource("vq", "q", "0", 0.05)
+    build_manhattan_pe(c, "pe", "p", "q", "out")
+    netlists["manhattan"] = c
+
+    c = Circuit("hamming_pe")
+    c.add_vsource("vp", "p", "0", 0.02)
+    c.add_vsource("vq", "q", "0", 0.05)
+    build_hamming_pe(
+        c, "pe", "p", "q", "out", v_threshold=0.01, v_step=0.01
+    )
+    netlists["hamming"] = c
+
+    c = Circuit("dtw_pe")
+    c.add_vsource("vp", "p", "0", 0.02)
+    c.add_vsource("vq", "q", "0", 0.05)
+    for k in range(3):
+        c.add_vsource(f"vd{k}", f"d{k}", "0", 0.01 * k)
+    build_dtw_pe(c, "pe", "p", "q", ["d0", "d1", "d2"], "out")
+    netlists["dtw"] = c
+
+    c = Circuit("lcs_pe")
+    for k, node in enumerate(("ld", "ll", "lu")):
+        c.add_vsource(f"v{k}", node, "0", 0.01)
+    build_lcs_pe(
+        c, "pe", "ld", "ll", "lu", "out", v_step=0.01, match=True
+    )
+    netlists["lcs"] = c
+
+    return netlists

@@ -10,6 +10,8 @@ Commands
 ``report``    everything above in one run
 ``datasets``  list the available synthetic datasets
 ``serve-bench``  replay a mixed query stream through the pool
+``check``     static electrical rule checks (netlists, block graphs,
+              PE configurations) — exits non-zero on any error
 """
 
 from __future__ import annotations
@@ -93,6 +95,32 @@ def _add_serving(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_check(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "check",
+        help="static electrical rule checks over the accelerator",
+    )
+    p.add_argument(
+        "functions",
+        nargs="*",
+        metavar="function",
+        help="configurations to verify (default: all six)",
+    )
+    p.add_argument(
+        "--shallow",
+        action="store_true",
+        help="skip the per-function graph smoke builds",
+    )
+    p.add_argument(
+        "--spice",
+        action="store_true",
+        help="also run the netlist ERC over the SPICE PE circuits",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -104,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compute(sub)
     _add_sweeps(sub)
     _add_serving(sub)
+    _add_check(sub)
     return parser
 
 
@@ -196,6 +225,66 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .accelerator import DistanceAccelerator
+    from .check import (
+        RULE_CATALOGUE,
+        check_circuit,
+        check_function_config,
+        check_params,
+    )
+    from .check.erc import demo_pe_netlists
+
+    accelerator = DistanceAccelerator(validate=False)
+    functions = args.functions or [
+        "dtw", "lcs", "edit", "hausdorff", "hamming", "manhattan"
+    ]
+    deep = not args.shallow
+    sections = {
+        "params": check_params(
+            accelerator.params,
+            dac_full_scale=accelerator.dac.spec.full_scale,
+            adc_full_scale=accelerator.adc.spec.full_scale,
+        )
+    }
+    for name in functions:
+        sections[f"config {name}"] = check_function_config(
+            name, params=accelerator.params, deep=deep
+        )
+    if args.spice:
+        for name, circuit in demo_pe_netlists().items():
+            sections[f"netlist {name}"] = check_circuit(circuit)
+
+    n_errors = sum(len(r.errors) for r in sections.values())
+    n_warnings = sum(len(r.warnings) for r in sections.values())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "sections": {
+                        name: report.as_dict()
+                        for name, report in sections.items()
+                    },
+                    "n_errors": n_errors,
+                    "n_warnings": n_warnings,
+                    "rules": dict(sorted(RULE_CATALOGUE.items())),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for name, report in sections.items():
+            status = "ok" if not len(report) else report.render()
+            print(f"{name:<20} {status}")
+        print(
+            f"-- {len(sections)} sections, {n_errors} error(s), "
+            f"{n_warnings} warning(s)"
+        )
+    return 1 if n_errors else 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .serving import PoolConfig, run_serve_bench
 
@@ -229,6 +318,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "datasets": _cmd_datasets,
     "serve-bench": _cmd_serve_bench,
+    "check": _cmd_check,
 }
 
 

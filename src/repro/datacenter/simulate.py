@@ -57,7 +57,7 @@ def _fifo(
     deployment: str,
     idle_power_w: float = 0.0,
 ) -> SimulationResult:
-    if not queries:
+    if len(queries) == 0:
         raise ConfigurationError("empty query stream")
     sojourns: List[float] = []
     busy_energy = 0.0
@@ -127,7 +127,7 @@ def simulate_farm(
     """
     if farm is None:
         farm = SingleFunctionFarm()
-    if not queries:
+    if len(queries) == 0:
         raise ConfigurationError("empty query stream")
     completions: Dict[str, float] = {f: 0.0 for f in farm.functions}
     busy: Dict[str, float] = {f: 0.0 for f in farm.functions}
@@ -191,7 +191,7 @@ def simulate_pool(
     """
     from ..serving import AcceleratorPool
 
-    if not queries:
+    if len(queries) == 0:
         raise ConfigurationError("empty query stream")
     rng = np.random.default_rng(seed)
     banks: Dict = {}

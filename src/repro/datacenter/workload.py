@@ -108,7 +108,7 @@ def generate_workload(spec: WorkloadSpec) -> List[Query]:
 
 def mix_of(queries: Sequence[Query]) -> Dict[str, float]:
     """Empirical function mix of a generated stream."""
-    if not queries:
+    if len(queries) == 0:
         return {}
     counts: Dict[str, int] = {}
     for q in queries:

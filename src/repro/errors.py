@@ -36,6 +36,16 @@ class NetlistError(ReproError, ValueError):
     """A SPICE netlist is malformed (unknown node, duplicate name...)."""
 
 
+class ElectricalRuleError(ConfigurationError):
+    """A static electrical rule check found error-severity violations.
+
+    Raised by :meth:`repro.check.CheckReport.raise_if_errors` — e.g. at
+    accelerator construction or pool startup — before any simulation
+    runs, because a mis-wired netlist or out-of-range memristor weight
+    produces a plausible-but-wrong analog result instead of a crash.
+    """
+
+
 class SingularCircuitError(ConvergenceError):
     """The MNA system is singular (floating node, shorted source...)."""
 

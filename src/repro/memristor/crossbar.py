@@ -45,7 +45,7 @@ class RowAdder:
         feedback_resistance: Optional[float] = None,
     ) -> None:
         weights = [float(w) for w in weights]
-        if not weights:
+        if len(weights) == 0:
             raise ConfigurationError("adder needs at least one input")
         if any(w <= 0 for w in weights):
             raise ConfigurationError("weights must be positive")

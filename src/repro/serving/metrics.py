@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -138,7 +138,7 @@ class MetricsRegistry:
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
-    def histogram(self, name: str, **kwargs) -> LatencyHistogram:
+    def histogram(self, name: str, **kwargs: Any) -> LatencyHistogram:
         if name not in self._histograms:
             self._histograms[name] = LatencyHistogram(name, **kwargs)
         return self._histograms[name]

@@ -183,6 +183,15 @@ class AcceleratorPool:
         self.shards = [
             _Shard(i, factory(), self.config) for i in range(n_shards)
         ]
+        # Startup ERC: a shard that passes construction may still have
+        # been built by a custom factory with validation disabled, or
+        # mutated afterwards — re-verify every chip before it serves.
+        from ..check import check_accelerator
+
+        for shard in self.shards:
+            check_accelerator(shard.accelerator).raise_if_errors(
+                f"AcceleratorPool startup (shard {shard.index})"
+            )
         self.reconfiguration = (
             reconfiguration
             if reconfiguration is not None

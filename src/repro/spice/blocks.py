@@ -109,7 +109,7 @@ def build_summing_amplifier(
     ``Vout = -sum_i (r_fb / r_i) V_i``; the input weight is the
     memristor ratio ``M0 / Mi`` as in the Fig. 1 row structure.
     """
-    if not inputs:
+    if len(inputs) == 0:
         raise ConfigurationError("summing amplifier needs inputs")
     if input_resistances is None:
         input_resistances = [DEFAULT_R] * len(inputs)
@@ -142,7 +142,7 @@ def build_diode_max(
     pulldown, 0.1 %, consistent with the paper treating diodes as ideal
     maximum selectors.
     """
-    if not inputs:
+    if len(inputs) == 0:
         raise ConfigurationError("diode max needs inputs")
     for k, node in enumerate(inputs):
         circuit.add_diode(f"{name}_d{k}", node, out)

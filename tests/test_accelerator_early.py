@@ -62,6 +62,19 @@ class TestEarlyRank:
         with pytest.raises(ConfigurationError):
             early_rank(rng.normal(size=4), [])
 
+    def test_candidates_as_2d_ndarray(self, rng):
+        # Regression: `if not candidates:` raised "truth value of an
+        # array is ambiguous" whenever the candidate bank arrived as a
+        # 2-D ndarray instead of a list (the RPR001 bug class).
+        query = rng.normal(size=6)
+        bank = np.stack([query + rng.normal(0, s, 6) for s in (0.1, 2.0)])
+        decision = early_rank(query, bank)
+        assert decision.final_ranking[0] == 0
+
+    def test_empty_ndarray_candidates_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="candidate"):
+            early_rank(rng.normal(size=4), np.empty((0, 4)))
+
     def test_bad_fraction_rejected(self, rng):
         with pytest.raises(ConfigurationError):
             early_rank(

@@ -1,0 +1,372 @@
+"""Fixture tests for the static verification layer (``repro.check``).
+
+Every ERC rule gets one deliberately broken fixture proving it fires,
+plus clean-pass tests showing all six shipping configurations (and the
+demo PE netlists) report zero diagnostics.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.accelerator import DistanceAccelerator
+from repro.accelerator.configurations import CONFIG_LIBRARY, get_config
+from repro.accelerator.params import PAPER_PARAMS, AcceleratorParameters
+from repro.analog import BlockGraph
+from repro.check import (
+    RULE_CATALOGUE,
+    CheckReport,
+    Diagnostic,
+    Severity,
+    check_accelerator,
+    check_block_graph,
+    check_circuit,
+    check_function_config,
+    check_params,
+)
+from repro.check.erc import demo_pe_netlists
+from repro.errors import ElectricalRuleError
+from repro.spice import Circuit
+
+ALL_FUNCTIONS = sorted(CONFIG_LIBRARY)
+
+
+def codes(report: CheckReport) -> set:
+    return {d.code for d in report}
+
+
+# ---------------------------------------------------------------------------
+# diagnostics plumbing
+
+
+class TestDiagnostics:
+    def test_report_severity_partition(self):
+        report = CheckReport()
+        report.add("ERC001", Severity.ERROR, "boom", "node x")
+        report.add("ERC007", Severity.WARNING, "meh", "element v")
+        assert report.has_errors
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report) == 2
+
+    def test_raise_if_errors_lists_every_error(self):
+        report = CheckReport()
+        report.add("ERC001", Severity.ERROR, "first", "a")
+        report.add("ERC002", Severity.ERROR, "second", "b")
+        with pytest.raises(ElectricalRuleError, match="ERC001") as exc:
+            report.raise_if_errors("unit test")
+        assert "ERC002" in str(exc.value)
+        assert "unit test" in str(exc.value)
+
+    def test_warnings_do_not_raise(self):
+        report = CheckReport()
+        report.add("ERC007", Severity.WARNING, "only warning", "v")
+        report.raise_if_errors()
+
+    def test_json_round_trip(self):
+        report = CheckReport()
+        report.add("ERC004", Severity.ERROR, "neg", "element r")
+        payload = json.loads(report.to_json())
+        assert payload["n_errors"] == 1
+        assert payload["diagnostics"][0]["code"] == "ERC004"
+
+    def test_every_fired_code_is_catalogued(self):
+        for code in (
+            [f"ERC00{k}" for k in range(1, 8)]
+            + [f"ERC10{k}" for k in range(1, 8)]
+            + [f"ERC20{k}" for k in range(1, 8)]
+        ):
+            assert code in RULE_CATALOGUE
+
+    def test_render_orders_worst_first(self):
+        report = CheckReport()
+        report.add("ERC007", Severity.WARNING, "warn", "w")
+        report.add("ERC001", Severity.ERROR, "err", "e")
+        lines = report.render().splitlines()
+        assert lines[0].startswith("ERC001")
+
+    def test_diagnostic_is_immutable(self):
+        d = Diagnostic("ERC001", Severity.ERROR, "msg", "spot")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            d.code = "ERC002"
+
+
+# ---------------------------------------------------------------------------
+# netlist rules ERC001-007
+
+
+def _divider() -> Circuit:
+    c = Circuit("divider")
+    c.add_vsource("vin", "in", "0", 1.0)
+    c.add_resistor("r1", "in", "mid", 1.0e3)
+    c.add_resistor("r2", "mid", "0", 1.0e3)
+    return c
+
+
+class TestNetlistERC:
+    def test_clean_divider_passes(self):
+        assert len(check_circuit(_divider())) == 0
+
+    def test_erc001_dangling_node(self):
+        c = _divider()
+        c.add_resistor("stub", "mid", "nowhere", 1.0e3)
+        report = check_circuit(c)
+        assert "ERC001" in codes(report)
+        assert report.has_errors
+
+    def test_erc002_parallel_voltage_sources(self):
+        c = _divider()
+        c.add_vsource("vdup", "in", "0", 0.5)
+        assert "ERC002" in codes(check_circuit(c))
+
+    def test_erc002_vsource_shorting_itself(self):
+        c = _divider()
+        c.add_vsource("vshort", "0", "gnd", 0.1)
+        assert "ERC002" in codes(check_circuit(c))
+
+    def test_erc003_sense_only_comparator_input(self):
+        c = _divider()
+        c.add_comparator("cmp", "cmp_out", "floating_in", "0")
+        report = check_circuit(c)
+        assert "ERC003" in codes(report)
+        # The unloaded comparator *output* is legal — no ERC001 for it.
+        assert "ERC001" not in codes(report)
+
+    def test_erc004_mutated_negative_resistance(self):
+        c = _divider()
+        # Constructors validate; rule catches post-construction edits.
+        c.resistors[0].resistance = -50.0
+        assert "ERC004" in codes(check_circuit(c))
+
+    def test_erc004_zero_capacitance(self):
+        c = _divider()
+        cap = c.add_capacitor("cl", "mid", "0", 1.0e-12)
+        cap.capacitance = 0.0
+        assert "ERC004" in codes(check_circuit(c))
+
+    def test_erc005_memristor_outside_weight_range(self):
+        c = _divider()
+        m = c.add_memristor("m1", "mid", "0", resistance=5.0e3)
+        m.device.x = -0.5  # beyond Roff: unprogrammable ratio
+        assert "ERC005" in codes(check_circuit(c))
+
+    def test_erc005_boundary_resistances_are_legal(self):
+        c = _divider()
+        m = c.add_memristor("m1", "mid", "0")
+        m.device.set_resistance(m.device.params.r_on)
+        assert "ERC005" not in codes(check_circuit(c))
+        m.device.set_resistance(m.device.params.r_off)
+        assert "ERC005" not in codes(check_circuit(c))
+
+    def test_erc006_no_ground_reference(self):
+        c = Circuit("floating")
+        c.add_vsource("v1", "a", "b", 1.0)
+        c.add_resistor("r1", "a", "b", 1.0e3)
+        assert "ERC006" in codes(check_circuit(c))
+
+    def test_erc007_nan_source_is_warning(self):
+        c = _divider()
+        c.add_vsource("vbad", "x", "0", float("nan"))
+        c.add_resistor("rload", "x", "0", 1.0e3)
+        report = check_circuit(c)
+        fired = [d for d in report if d.code == "ERC007"]
+        assert fired and fired[0].severity is Severity.WARNING
+
+    def test_demo_pe_netlists_are_clean(self):
+        netlists = demo_pe_netlists()
+        assert set(netlists) == {"manhattan", "hamming", "dtw", "lcs"}
+        for name, circuit in netlists.items():
+            report = check_circuit(circuit)
+            assert len(report) == 0, f"{name}: {report.render()}"
+
+
+# ---------------------------------------------------------------------------
+# block-graph rules ERC101-107
+
+
+def _subtractor_graph() -> BlockGraph:
+    graph = BlockGraph()
+    a = graph.const(0.02)
+    b = graph.const(0.05)
+    out = graph.lin([(a, 1.0), (b, -1.0)])
+    graph.mark_output("out", out)
+    return graph
+
+
+class TestGraphERC:
+    def test_clean_graph_passes(self):
+        assert len(check_block_graph(_subtractor_graph())) == 0
+
+    def test_erc101_dead_block_is_warning(self):
+        graph = _subtractor_graph()
+        graph.const(0.01, label="orphan")
+        report = check_block_graph(graph)
+        fired = [d for d in report if d.code == "ERC101"]
+        assert fired and fired[0].severity is Severity.WARNING
+        assert not report.has_errors
+
+    def test_erc102_no_marked_outputs(self):
+        graph = BlockGraph()
+        a = graph.const(0.02)
+        graph.buffer(a)
+        assert "ERC102" in codes(check_block_graph(graph))
+
+    def test_erc103_window_too_short(self):
+        graph = _subtractor_graph()
+        report = check_block_graph(graph, window_s=1.0e-15)
+        assert "ERC103" in codes(report)
+
+    def test_erc103_generous_window_passes(self):
+        graph = _subtractor_graph()
+        assert "ERC103" not in codes(
+            check_block_graph(graph, window_s=1.0)
+        )
+
+    def test_erc104_const_beyond_supply_rail(self):
+        graph = _subtractor_graph()
+        graph.mark_output(
+            "hot", graph.buffer(graph.const(2.5, label="hot"))
+        )
+        report = check_block_graph(graph, supply_rail=1.0)
+        assert "ERC104" in codes(report)
+
+    def test_erc105_inverted_gate_rails(self):
+        graph = BlockGraph()
+        a = graph.const(0.02)
+        b = graph.const(0.05)
+        g = graph.gate(a, b, threshold=0.01, v_high=0.0, v_low=0.5)
+        graph.mark_output("out", g)
+        assert "ERC105" in codes(check_block_graph(graph))
+
+    def test_erc106_unencodable_weight(self):
+        graph = BlockGraph()
+        a = graph.const(0.01)
+        # Paper device: Ron 1 kohm, Roff 100 kohm -> ratio range
+        # [0.01, 100]; 5000x has no programmable memristor pair.
+        out = graph.lin([(a, 5.0e3)])
+        graph.mark_output("out", out)
+        assert "ERC106" in codes(check_block_graph(graph))
+
+    def test_erc107_non_positive_tau(self):
+        frozen = _subtractor_graph().freeze()
+        frozen.tau[-1] = 0.0
+        assert "ERC107" in codes(check_block_graph(frozen))
+
+    def test_accepts_frozen_graph(self):
+        frozen = _subtractor_graph().freeze()
+        assert len(check_block_graph(frozen)) == 0
+
+
+# ---------------------------------------------------------------------------
+# configuration rules ERC201-207
+
+
+def _broken(config_name: str, **overrides):
+    """A config-library replica with post-init validation bypassed."""
+    config = dataclasses.replace(get_config(config_name))
+    for field, value in overrides.items():
+        object.__setattr__(config, field, value)
+    return config
+
+
+class TestConfigERC:
+    def test_erc201_unknown_structure(self):
+        config = _broken("dtw", structure="mesh")
+        assert "ERC201" in codes(check_function_config(config))
+
+    def test_erc202_over_inventory_resources(self):
+        from repro.accelerator.configurations import PEResources
+
+        config = _broken("dtw", resources=PEResources(op_amps=999.0))
+        assert "ERC202" in codes(check_function_config(config))
+
+    def test_erc203_builder_not_callable(self):
+        config = _broken("manhattan", builder=None)
+        assert "ERC203" in codes(check_function_config(config))
+
+    def test_erc204_unknown_decode(self):
+        config = _broken("manhattan", decode="volts")
+        assert "ERC204" in codes(check_function_config(config))
+
+    def test_erc205_vstep_exceeds_resolution(self):
+        params = AcceleratorParameters(
+            voltage_resolution=10.0e-3, v_step=20.0e-3
+        )
+        assert "ERC205" in codes(check_params(params))
+
+    def test_erc205_negative_threshold(self):
+        params = AcceleratorParameters(v_threshold=-5.0e-3)
+        assert "ERC205" in codes(check_params(params))
+
+    def test_erc205_threshold_at_supply(self):
+        params = AcceleratorParameters(v_threshold=1.0)
+        assert "ERC205" in codes(check_params(params))
+
+    def test_erc206_full_scale_below_encoding_unit(self):
+        report = check_params(PAPER_PARAMS, dac_full_scale=1.0e-3)
+        assert "ERC206" in codes(report)
+
+    def test_erc207_threshold_function_must_count_steps(self):
+        config = _broken("hamming", decode="resolution")
+        assert "ERC207" in codes(check_function_config(config))
+
+    def test_erc207_step_decode_requires_threshold(self):
+        config = _broken("manhattan", decode="steps")
+        assert "ERC207" in codes(check_function_config(config))
+
+
+# ---------------------------------------------------------------------------
+# clean passes + fail-fast wiring
+
+
+class TestCleanPass:
+    @pytest.mark.parametrize("name", ALL_FUNCTIONS)
+    def test_shallow_config_check_is_clean(self, name):
+        report = check_function_config(name)
+        assert len(report) == 0, report.render()
+
+    @pytest.mark.parametrize("name", ALL_FUNCTIONS)
+    def test_deep_config_check_is_clean(self, name):
+        report = check_function_config(name, deep=True)
+        assert len(report) == 0, report.render()
+
+    def test_paper_params_are_clean(self):
+        assert len(check_params(PAPER_PARAMS)) == 0
+
+    def test_accelerator_self_check_is_clean(self):
+        chip = DistanceAccelerator()
+        report = chip.self_check()
+        assert len(report) == 0, report.render()
+
+    def test_constructor_validates_by_default(self):
+        # validate=True is the default and must not reject the
+        # paper's own parameterisation.
+        chip = DistanceAccelerator(validate=True)
+        assert np.isfinite(
+            chip.compute("manhattan", [1.0, 2.0], [2.0, 4.0]).value
+        )
+
+    def test_check_accelerator_full_sweep(self):
+        chip = DistanceAccelerator(validate=False)
+        report = check_accelerator(chip)
+        assert len(report) == 0, report.render()
+
+
+class TestCLI:
+    def test_check_command_passes_on_shipping_configs(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--shallow", "--spice"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_check_command_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--shallow", "--json", "manhattan"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_errors"] == 0
+        assert "config manhattan" in payload["sections"]
+        assert "ERC001" in payload["rules"]

@@ -1,0 +1,296 @@
+"""Tests for the repo-specific AST linter (``tools/lint_repro.py``)."""
+
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+from lint_repro import ALL_RULES, lint_path, lint_source, main  # noqa: E402
+
+
+def lint(code, **kwargs):
+    return lint_source(textwrap.dedent(code), **kwargs)
+
+
+def fired(findings):
+    return {f.code for f in findings}
+
+
+class TestRPR001:
+    def test_if_not_on_sequence_param(self):
+        findings = lint(
+            """
+            from typing import Sequence
+
+            def f(candidates: Sequence) -> None:
+                if not candidates:
+                    raise ValueError("empty")
+            """
+        )
+        assert fired(findings) == {"RPR001"}
+        assert "len(candidates) == 0" in findings[0].message
+
+    def test_bare_if_on_ndarray_param(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def f(weights: np.ndarray) -> int:
+                if weights:
+                    return 1
+                return 0
+            """
+        )
+        assert fired(findings) == {"RPR001"}
+
+    def test_boolop_and_comprehension_contexts(self):
+        findings = lint(
+            """
+            from numpy.typing import ArrayLike
+
+            def f(xs: ArrayLike, flag: bool) -> list:
+                ok = flag and xs
+                return [1 for _ in range(3) if xs]
+            """
+        )
+        assert len(findings) == 2
+        assert fired(findings) == {"RPR001"}
+
+    def test_len_comparison_is_clean(self):
+        findings = lint(
+            """
+            from typing import Sequence
+
+            def f(candidates: Sequence) -> None:
+                if len(candidates) == 0:
+                    raise ValueError("empty")
+            """
+        )
+        assert findings == []
+
+    def test_unannotated_param_not_flagged(self):
+        findings = lint(
+            """
+            def f(candidates):
+                if not candidates:
+                    raise ValueError("empty")
+            """
+        )
+        assert findings == []
+
+    def test_nested_function_has_own_scope(self):
+        findings = lint(
+            """
+            from typing import Sequence
+
+            def outer(xs: Sequence) -> None:
+                def inner(xs: list) -> bool:
+                    return not xs  # list param: truthiness is fine
+                inner(list(xs))
+            """
+        )
+        assert findings == []
+
+    def test_early_py_regression_shape_is_caught(self):
+        # The exact pattern fixed in repro.accelerator.early.
+        findings = lint(
+            """
+            from typing import Sequence
+
+            def early_rank(query, candidates: Sequence) -> None:
+                if not candidates:
+                    raise ValueError("need at least one candidate")
+            """
+        )
+        assert fired(findings) == {"RPR001"}
+
+
+class TestRPR002:
+    def test_list_literal_default(self):
+        findings = lint(
+            """
+            def f(items=[]):
+                return items
+            """
+        )
+        assert fired(findings) == {"RPR002"}
+
+    def test_dict_constructor_default(self):
+        findings = lint(
+            """
+            def f(*, cache=dict()):
+                return cache
+            """
+        )
+        assert fired(findings) == {"RPR002"}
+
+    def test_none_default_is_clean(self):
+        findings = lint(
+            """
+            def f(items=None, n=3, name="x"):
+                return items
+            """
+        )
+        assert findings == []
+
+
+class TestRPR003:
+    ACCEL_PATH = "src/repro/accelerator/timing.py"
+
+    def test_raw_resistance_literal_in_function(self):
+        findings = lint(
+            """
+            def settle():
+                return 100e3 * 1.0e-12
+            """,
+            path=self.ACCEL_PATH,
+        )
+        assert {f.code for f in findings} == {"RPR003"}
+        assert len(findings) == 2  # 100 kohm and 1 pF both flagged
+
+    def test_module_level_constant_is_clean(self):
+        findings = lint(
+            """
+            R_LOAD_OHM = 100e3
+
+            def settle():
+                return R_LOAD_OHM * 2.0
+            """,
+            path=self.ACCEL_PATH,
+        )
+        assert findings == []
+
+    def test_params_py_is_exempt(self):
+        findings = lint(
+            """
+            def scale():
+                return 100e3
+            """,
+            path="src/repro/accelerator/params.py",
+        )
+        assert findings == []
+
+    def test_non_accelerator_module_is_exempt(self):
+        findings = lint(
+            """
+            def scale():
+                return 100e3
+            """,
+            path="src/repro/serving/pool.py",
+        )
+        assert findings == []
+
+
+class TestRPR004:
+    def test_incomplete_backend_flagged(self):
+        findings = lint(
+            """
+            class RemoteBackend:
+                name = "remote"
+
+                def compute(self, function, p, q):
+                    return 0.0
+            """
+        )
+        assert fired(findings) == {"RPR004"}
+        assert "batch" in findings[0].message
+        assert "pairwise" in findings[0].message
+
+    def test_complete_backend_clean(self):
+        findings = lint(
+            """
+            class RemoteBackend:
+                name = "remote"
+
+                def compute(self, function, p, q):
+                    return 0.0
+
+                def batch(self, function, query, candidates):
+                    return []
+
+                def pairwise(self, function, series):
+                    return []
+            """
+        )
+        assert findings == []
+
+    def test_protocol_definition_exempt(self):
+        findings = lint(
+            """
+            from typing import Protocol
+
+            class DistanceBackend(Protocol):
+                name: str
+            """
+        )
+        assert findings == []
+
+    def test_pytest_class_exempt(self):
+        findings = lint(
+            """
+            class TestPoolBackend:
+                def test_something(self):
+                    assert True
+            """
+        )
+        assert findings == []
+
+
+class TestHarness:
+    def test_noqa_suppression(self):
+        findings = lint(
+            """
+            def f(items=[]):  # noqa: RPR002
+                return items
+            """
+        )
+        assert findings == []
+
+    def test_select_limits_rules(self):
+        code = """
+        from typing import Sequence
+
+        def f(xs: Sequence, items=[]):
+            if not xs:
+                return items
+        """
+        assert fired(lint(code, select=["RPR002"])) == {"RPR002"}
+        assert fired(lint(code)) == {"RPR001", "RPR002"}
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="RPR999"):
+            lint("x = 1", select=["RPR999"])
+
+    def test_repo_sources_are_green(self):
+        repo = Path(__file__).resolve().parent.parent
+        findings = lint_path(repo / "src")
+        findings += lint_path(repo / "tests")
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x=None):\n    return x\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        assert main([str(clean)]) == 0
+        capsys.readouterr()
+        assert main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR002" in out
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f(x=[]):\n    return x\n")
+        assert main(["--json", str(dirty)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "RPR002"
+
+    def test_all_rules_registry(self):
+        assert ALL_RULES == ("RPR001", "RPR002", "RPR003", "RPR004")

@@ -1,0 +1,420 @@
+#!/usr/bin/env python3
+"""Repo-specific AST lints for the repro codebase.
+
+Four rules, each targeting a bug class this repository has actually
+hit (or is one mutation away from hitting):
+
+RPR001  ndarray-in-boolean-context: a parameter annotated as an array
+        (``np.ndarray`` / ``NDArray`` / ``ArrayLike`` / ``Sequence``)
+        used directly as a truth value (``if not candidates:``).
+        Callers routinely pass numpy arrays where ``Sequence`` is
+        declared; an ndarray of length != 1 then raises "truth value
+        of an array is ambiguous" — the PR-1 bug class.  Use
+        ``len(x) == 0`` instead.
+RPR002  mutable default argument (list/dict/set literal or
+        constructor call) — shared across calls.
+RPR003  raw time/resistance literal inside a function body of
+        ``repro.accelerator`` modules: magnitudes <= 1e-6 (ns..us
+        time constants) or >= 1e3 (kilo-ohm-class resistances) must
+        come from ``params.py`` constants (or be hoisted to a named
+        module-level constant), not be inlined mid-computation.
+RPR004  a class named ``*Backend`` (the :class:`DistanceBackend`
+        registration convention) missing one of the protocol methods
+        ``compute`` / ``batch`` / ``pairwise``.
+
+Run standalone or in CI::
+
+    python tools/lint_repro.py src tests
+    python tools/lint_repro.py --select RPR001,RPR002 src
+    python tools/lint_repro.py --json src
+
+Suppress a finding with a trailing ``# noqa: RPR00x`` comment on the
+offending line.  Exit status is 1 when any finding survives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004")
+
+#: Annotation substrings treated as "array-typed" for RPR001.
+ARRAY_ANNOTATION_TOKENS = (
+    "ndarray",
+    "NDArray",
+    "ArrayLike",
+    "Sequence",
+)
+
+#: RPR003 magnitude bands: sub-microsecond time constants and
+#: kilo-ohm-and-up resistances are the unit-bearing constants that
+#: belong in params.py.
+RAW_LITERAL_SMALL = 1.0e-6
+RAW_LITERAL_LARGE = 1.0e3
+
+#: Calls whose result is a fresh mutable container (RPR002).
+MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+BACKEND_REQUIRED_METHODS = ("compute", "batch", "pairwise")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _annotation_is_arrayish(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    text = ast.unparse(annotation)
+    return any(token in text for token in ARRAY_ANNOTATION_TOKENS)
+
+
+def _array_params(fn: ast.AST) -> Set[str]:
+    """Names of array-annotated parameters of a function definition."""
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    names: Set[str] = set()
+    args = fn.args
+    for arg in (
+        list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    ):
+        if _annotation_is_arrayish(arg.annotation):
+            names.add(arg.arg)
+    return names
+
+
+class _FunctionLinter(ast.NodeVisitor):
+    """Checks one function body for RPR001 boolean-context misuse."""
+
+    def __init__(
+        self,
+        fn: ast.AST,
+        path: str,
+        findings: List[Finding],
+    ) -> None:
+        self.params = _array_params(fn)
+        self.path = path
+        self.findings = findings
+
+    def _flag_if_param(self, node: ast.expr) -> None:
+        if (
+            isinstance(node, ast.Name)
+            and node.id in self.params
+        ):
+            self.findings.append(
+                Finding(
+                    self.path,
+                    node.lineno,
+                    node.col_offset,
+                    "RPR001",
+                    f"array-typed parameter {node.id!r} used as a "
+                    "truth value; ambiguous for ndarrays — use "
+                    f"len({node.id}) == 0",
+                )
+            )
+
+    def visit_If(self, node: ast.If) -> None:
+        self._flag_test(node.test)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._flag_test(node.test)
+        self.generic_visit(node)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._flag_test(node.test)
+        self.generic_visit(node)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._flag_test(node.test)
+        self.generic_visit(node)
+
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        for value in node.values:
+            self._flag_if_param(value)
+        self.generic_visit(node)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> None:
+        if isinstance(node.op, ast.Not):
+            self._flag_if_param(node.operand)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        for test in node.ifs:
+            self._flag_if_param(test)
+        self.generic_visit(node)
+
+    def _flag_test(self, test: ast.expr) -> None:
+        # `if x:` — bare name; `if not x:` / BoolOps are handled by
+        # their own visitors when the walker reaches them.
+        self._flag_if_param(test)
+
+    # Nested defs introduce new scopes; the outer walk lints them
+    # separately with their own parameter sets.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        return
+
+
+def _lint_rpr001(
+    tree: ast.AST, path: str, findings: List[Finding]
+) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            linter = _FunctionLinter(node, path, findings)
+            for stmt in node.body:
+                linter.visit(stmt)
+
+
+def _lint_rpr002(
+    tree: ast.AST, path: str, findings: List[Finding]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in MUTABLE_FACTORIES
+            )
+            if mutable:
+                findings.append(
+                    Finding(
+                        path,
+                        default.lineno,
+                        default.col_offset,
+                        "RPR002",
+                        f"mutable default argument in {node.name!r}; "
+                        "shared across calls — default to None and "
+                        "create inside the function",
+                    )
+                )
+
+
+def _is_accelerator_module(path: Path) -> bool:
+    parts = path.parts
+    return (
+        "accelerator" in parts
+        and "repro" in parts
+        and path.name != "params.py"
+    )
+
+
+def _lint_rpr003(
+    tree: ast.AST, path: Path, findings: List[Finding]
+) -> None:
+    if not _is_accelerator_module(path):
+        return
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for stmt in fn.body:
+            for node in ast.walk(stmt):
+                if not (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, float)
+                ):
+                    continue
+                magnitude = abs(node.value)
+                if magnitude == 0.0:
+                    continue
+                if (
+                    magnitude <= RAW_LITERAL_SMALL
+                    or magnitude >= RAW_LITERAL_LARGE
+                ):
+                    findings.append(
+                        Finding(
+                            str(path),
+                            node.lineno,
+                            node.col_offset,
+                            "RPR003",
+                            f"raw unit-bearing literal {node.value!r} "
+                            f"in {fn.name!r}; route it through "
+                            "repro.accelerator.params (or hoist to a "
+                            "named module-level constant)",
+                        )
+                    )
+
+
+def _lint_rpr004(
+    tree: ast.AST, path: str, findings: List[Finding]
+) -> None:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not node.name.endswith("Backend"):
+            continue
+        if node.name.startswith("Test"):
+            continue  # pytest test class, not a backend implementation
+        base_names = {
+            ast.unparse(base) for base in node.bases
+        }
+        if "Protocol" in {b.split(".")[-1] for b in base_names}:
+            continue  # the protocol definition itself
+        defined = {
+            item.name
+            for item in node.body
+            if isinstance(
+                item, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+        }
+        defined |= {
+            target.id
+            for item in node.body
+            if isinstance(item, ast.Assign)
+            for target in item.targets
+            if isinstance(target, ast.Name)
+        }
+        missing = [
+            m for m in BACKEND_REQUIRED_METHODS if m not in defined
+        ]
+        if missing:
+            findings.append(
+                Finding(
+                    path,
+                    node.lineno,
+                    node.col_offset,
+                    "RPR004",
+                    f"class {node.name!r} follows the "
+                    "DistanceBackend naming convention but lacks "
+                    f"{', '.join(missing)}; it will fail the "
+                    "runtime protocol check",
+                )
+            )
+
+
+def _strip_suppressed(
+    findings: List[Finding], source: str
+) -> List[Finding]:
+    lines = source.splitlines()
+    kept = []
+    for finding in findings:
+        if finding.line <= len(lines):
+            text = lines[finding.line - 1]
+            if "noqa" in text and finding.code in text:
+                continue
+        kept.append(finding)
+    return kept
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; ``select`` limits the rule set."""
+    rules = set(select) if select is not None else set(ALL_RULES)
+    unknown = rules - set(ALL_RULES)
+    if unknown:
+        raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+    tree = ast.parse(source, filename=path)
+    findings: List[Finding] = []
+    if "RPR001" in rules:
+        _lint_rpr001(tree, path, findings)
+    if "RPR002" in rules:
+        _lint_rpr002(tree, path, findings)
+    if "RPR003" in rules:
+        _lint_rpr003(tree, Path(path), findings)
+    if "RPR004" in rules:
+        _lint_rpr004(tree, path, findings)
+    findings = _strip_suppressed(findings, source)
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col))
+
+
+def lint_path(
+    path: Path, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Lint one file or every ``*.py`` under a directory."""
+    files = (
+        sorted(path.rglob("*.py")) if path.is_dir() else [path]
+    )
+    findings: List[Finding] = []
+    for file in files:
+        findings.extend(
+            lint_source(
+                file.read_text(encoding="utf-8"),
+                str(file),
+                select=select,
+            )
+        )
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_repro",
+        description="repo-specific AST lints (RPR001-RPR004)",
+    )
+    parser.add_argument(
+        "paths", nargs="+", type=Path, help="files or directories"
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule codes (default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    args = parser.parse_args(argv)
+    select = (
+        [c.strip() for c in args.select.split(",") if c.strip()]
+        if args.select
+        else None
+    )
+    findings: List[Finding] = []
+    for path in args.paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+        findings.extend(lint_path(path, select=select))
+    if args.json:
+        print(
+            json.dumps(
+                [f.as_dict() for f in findings], indent=2
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(
+            f"-- {len(findings)} finding(s) across "
+            f"{len(args.paths)} path(s)"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
