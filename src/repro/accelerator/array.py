@@ -22,6 +22,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..check import CheckReport
+    from ..faults.state import FaultState
 
 from ..analog import (
     BlockGraph,
@@ -138,6 +139,7 @@ class DistanceAccelerator:
         self.dac = dac if dac is not None else DacArray()
         self.adc = adc if adc is not None else AdcArray()
         self.quantise_io = quantise_io
+        self.fault_state: "Optional[FaultState]" = None
         if validate:
             self.self_check().raise_if_errors(
                 "DistanceAccelerator construction"
@@ -154,8 +156,49 @@ class DistanceAccelerator:
 
         return check_accelerator(self, deep=deep)
 
+    # -- runtime faults ----------------------------------------------------
+    def inject_faults(self, state: "FaultState") -> None:
+        """Attach a runtime fault map (see :mod:`repro.faults`).
+
+        Subsequent computations build fault-aware block graphs; the
+        usable array shrinks to the fault map's repacked healthy rows.
+        """
+        self.fault_state = state
+
+    def clear_faults(self) -> None:
+        """Detach the fault map (chip replaced / faults healed)."""
+        self.fault_state = None
+
+    @property
+    def usable_rows(self) -> int:
+        """Addressable PE rows after remapping around dead sites."""
+        if self.fault_state is None:
+            return self.params.array_rows
+        return self.fault_state.usable_rows()
+
+    @property
+    def usable_cols(self) -> int:
+        """Addressable PE columns (full width; rows absorb dead sites)."""
+        if self.fault_state is None:
+            return self.params.array_cols
+        return self.fault_state.usable_cols()
+
+    def _fault_adc_offset(self) -> float:
+        """Additive ADC-reference offset of the attached fault map."""
+        if self.fault_state is None:
+            return 0.0
+        return self.fault_state.adc_offset_v
+
     # -- helpers -----------------------------------------------------------
     def _new_graph(self) -> BlockGraph:
+        if self.fault_state is not None:
+            from ..faults.graph import FaultedBlockGraph
+
+            return FaultedBlockGraph(
+                self.fault_state,
+                nonideality=self.nonideality,
+                timing=self.timing,
+            )
         return BlockGraph(
             nonideality=self.nonideality, timing=self.timing
         )
@@ -177,7 +220,9 @@ class DistanceAccelerator:
             return voltage
         if voltage >= self.params.infinity_rail * 0.99:
             return voltage
-        sampled = float(self.adc.convert([voltage])[0])
+        sampled = float(
+            self.adc.convert([voltage + self._fault_adc_offset()])[0]
+        )
         return float(self.dac.convert([sampled])[0]) if abs(
             sampled
         ) <= self.dac.spec.full_scale else sampled
@@ -190,7 +235,9 @@ class DistanceAccelerator:
     def _adc_read(self, voltage: float) -> float:
         if not self.quantise_io:
             return voltage
-        return float(self.adc.convert([voltage])[0])
+        return float(
+            self.adc.convert([voltage + self._fault_adc_offset()])[0]
+        )
 
     def _overflowed(self, voltages: np.ndarray, raw: float) -> bool:
         rail = self.params.vcc * 1.05
@@ -229,9 +276,7 @@ class DistanceAccelerator:
                 config, p_arr, q_arr, w, threshold_v, measure_time
             )
         w = as_weight_matrix(weights, n, m)
-        fits = (
-            n <= self.params.array_rows and m <= self.params.array_cols
-        )
+        fits = n <= self.usable_rows and m <= self.usable_cols
         if fits:
             return self._compute_single_tile(
                 config,
@@ -408,10 +453,10 @@ class DistanceAccelerator:
 
         outs: List[int] = []
         for k, (p_arr, q_arr) in enumerate(pairs):
-            if p_arr.shape[0] > self.params.array_cols:
+            if p_arr.shape[0] > self.usable_cols:
                 raise ConfigurationError(
                     "batch mode requires the sequence to fit one array "
-                    f"row; {p_arr.shape[0]} > {self.params.array_cols} "
+                    f"row; {p_arr.shape[0]} > {self.usable_cols} "
                     "(use DistanceAccelerator.compute, which tiles)"
                 )
             p_ids = ids_for(p_arr)
@@ -440,7 +485,11 @@ class DistanceAccelerator:
             or np.max(raw)
             > self.adc.spec.full_scale - self.adc.spec.lsb
         )
-        read = self.adc.convert(raw) if self.quantise_io else raw
+        read = (
+            self.adc.convert(raw + self._fault_adc_offset())
+            if self.quantise_io
+            else raw
+        )
         values = np.array(
             [self._decode(config, float(v)) for v in read]
         )
@@ -448,7 +497,7 @@ class DistanceAccelerator:
         t_conv = None
         if measure_time:
             t_conv, _ = measure_convergence(frozen, "cand0")
-        passes = int(np.ceil(len(pairs) / self.params.array_rows))
+        passes = int(np.ceil(len(pairs) / self.usable_rows))
         conversion = self.dac.load_time(
             dac_samples
         ) + self.adc.read_time(len(pairs))
@@ -564,7 +613,7 @@ class DistanceAccelerator:
         measure_time: bool,
     ) -> AcceleratorResult:
         n = p_arr.shape[0]
-        segments = plan_row_segments(n, self.params.array_cols)
+        segments = plan_row_segments(n, self.usable_cols)
         total_v = 0.0
         t_conv_total = 0.0 if measure_time else None
         conversion = 0.0
@@ -648,7 +697,7 @@ class DistanceAccelerator:
             dp[:, 0] = np.arange(n + 1) * self.params.v_step
 
         tiles = plan_matrix_tiles(
-            n, m, self.params.array_rows, self.params.array_cols
+            n, m, self.usable_rows, self.usable_cols
         )
         t_conv_total = 0.0 if measure_time else None
         conversion = 0.0
@@ -733,7 +782,7 @@ class DistanceAccelerator:
     ) -> AcceleratorResult:
         n, m = p_arr.shape[0], q_arr.shape[0]
         tiles = plan_matrix_tiles(
-            n, m, self.params.array_rows, self.params.array_cols
+            n, m, self.usable_rows, self.usable_cols
         )
         col_min = np.full(m, np.inf)
         t_conv_total = 0.0 if measure_time else None

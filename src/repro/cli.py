@@ -10,6 +10,9 @@ Commands
 ``report``    everything above in one run
 ``datasets``  list the available synthetic datasets
 ``serve-bench``  replay a mixed query stream through the pool
+``faults``    fault-injection campaign: inject → BIST → repair →
+              re-serve, reporting detection/repair rates and the
+              served-accuracy curve
 ``check``     static electrical rule checks (netlists, block graphs,
               PE configurations) — exits non-zero on any error
 """
@@ -95,6 +98,54 @@ def _add_serving(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_faults(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "faults",
+        help=(
+            "fault-injection campaign through the serving pool "
+            "(inject, detect, repair, re-serve)"
+        ),
+    )
+    p.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=None,
+        help="stuck-at fault rates to sweep (default 0.005 0.01 0.02)",
+    )
+    p.add_argument(
+        "--functions",
+        nargs="+",
+        default=None,
+        choices=["dtw", "lcs", "edit", "hausdorff", "hamming", "manhattan"],
+        help="serving workload functions (default manhattan dtw)",
+    )
+    p.add_argument("--shards", type=int, default=3)
+    p.add_argument("--queries", type=int, default=8)
+    p.add_argument("--candidates", type=int, default=8)
+    p.add_argument("--length", type=int, default=8)
+    p.add_argument(
+        "--array",
+        type=int,
+        default=12,
+        help="campaign chips use a square PE array of this size",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--no-repair",
+        action="store_true",
+        help="detect and quarantine only; skip recalibration",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the small CI preset (one rate, one function, 2 shards)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+
 def _add_check(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "check",
@@ -132,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compute(sub)
     _add_sweeps(sub)
     _add_serving(sub)
+    _add_faults(sub)
     _add_check(sub)
     return parser
 
@@ -309,6 +361,35 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import run_campaign, smoke_campaign
+
+    if args.smoke:
+        result = smoke_campaign(seed=args.seed)
+    else:
+        kwargs = {}
+        if args.rates is not None:
+            kwargs["rates"] = tuple(args.rates)
+        if args.functions is not None:
+            kwargs["functions"] = tuple(args.functions)
+        result = run_campaign(
+            n_shards=args.shards,
+            n_queries=args.queries,
+            n_candidates=args.candidates,
+            length=args.length,
+            array_rows=args.array,
+            array_cols=args.array,
+            seed=args.seed,
+            auto_repair=not args.no_repair,
+            **kwargs,
+        )
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(result.table())
+    return 0
+
+
 _COMMANDS = {
     "compute": _cmd_compute,
     "fig5": _cmd_fig5,
@@ -318,6 +399,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "datasets": _cmd_datasets,
     "serve-bench": _cmd_serve_bench,
+    "faults": _cmd_faults,
     "check": _cmd_check,
 }
 

@@ -54,6 +54,30 @@ class TuningError(ReproError, RuntimeError):
     """Memristor resistance tuning failed to reach the target ratio."""
 
 
+class FaultInjectionError(ConfigurationError):
+    """A runtime fault model or injection request is invalid.
+
+    Raised by :mod:`repro.faults` — e.g. for an out-of-range fault
+    rate, an unknown scope, or an injection that would disable every
+    PE site of a chip.  Like :class:`ElectricalRuleError` this guards
+    the *configuration* of the reliability machinery: a silently
+    mis-parameterised fault campaign would report vacuous detection
+    and repair rates instead of crashing.
+    """
+
+
+class ShardUnhealthyError(ReproError, RuntimeError):
+    """No healthy shard is available to serve a request.
+
+    Raised by :class:`repro.serving.AcceleratorPool` when online BIST
+    has quarantined every shard (degraded or failed) and a request can
+    neither be placed nor retried.  A faulted analog chip returns
+    plausible-but-wrong distances rather than crashing, so the pool
+    fails loudly instead of routing traffic to a chip its built-in
+    self-test has condemned.
+    """
+
+
 class CapacityError(ConfigurationError):
     """A workload does not fit the accelerator without tiling disabled."""
 

@@ -49,7 +49,14 @@ class MonteCarloResult:
 
     @property
     def yield_fraction(self) -> float:
-        """Fraction of chips with max error within the specification."""
+        """Fraction of chips with max error within the specification.
+
+        ``nan`` for an empty sample: zero chips have no yield, and
+        silently reporting 0 % (or 100 %) would poison tolerance
+        sweeps that aggregate these fractions.
+        """
+        if not self.chips:
+            return float("nan")
         passing = sum(
             c.max_error <= self.specification for c in self.chips
         )

@@ -1,0 +1,92 @@
+"""Fault injection and reliability: keep a degrading rack serving.
+
+The paper fabricates one healthy chip; a data center runs thousands
+that age in place.  This package models the runtime failure mechanisms
+of the memristor arrays (:mod:`~repro.faults.models`), stamps them
+onto simulated chips reproducibly (:mod:`~repro.faults.inject` /
+:mod:`~repro.faults.state`), detects them online with golden-vector
+self-test (:mod:`~repro.faults.bist`), repairs what the Section 3.3
+tuning loop can reach and remaps around what it cannot
+(:mod:`~repro.faults.repair`), and measures the whole closed loop
+end-to-end through the serving pool (:mod:`~repro.faults.campaign`).
+
+>>> from repro.accelerator import DistanceAccelerator
+>>> from repro.faults import FaultInjector, StuckAtFault
+>>> chip = DistanceAccelerator()
+>>> injector = FaultInjector([StuckAtFault(rate=0.01)], seed=1)
+>>> state = injector.inject(chip)
+>>> state.n_faulty > 0
+True
+"""
+
+from .bist import (
+    DEGRADED,
+    FAILED,
+    HEALTHY,
+    BistRunner,
+    FunctionProbe,
+    HealthReport,
+)
+from .campaign import (
+    DEFAULT_RATES,
+    CampaignResult,
+    PhaseScore,
+    RatePoint,
+    default_scenario,
+    run_campaign,
+    smoke_campaign,
+)
+from .graph import FaultedBlockGraph
+from .inject import FaultInjector
+from .models import (
+    DEFAULT_SCENARIO,
+    SCOPES,
+    AdcOffsetFault,
+    DriftFault,
+    FaultModel,
+    LostPairFault,
+    ReadDisturbFault,
+    StuckAtFault,
+)
+from .repair import RepairReport, SiteRepair, recalibrate
+from .state import (
+    STUCK_NONE,
+    STUCK_ROFF,
+    STUCK_RON,
+    FaultState,
+    fresh_state,
+)
+
+__all__ = [
+    "AdcOffsetFault",
+    "BistRunner",
+    "CampaignResult",
+    "DEFAULT_RATES",
+    "DEFAULT_SCENARIO",
+    "DEGRADED",
+    "DriftFault",
+    "FAILED",
+    "FaultInjector",
+    "FaultModel",
+    "FaultState",
+    "FaultedBlockGraph",
+    "FunctionProbe",
+    "HEALTHY",
+    "HealthReport",
+    "LostPairFault",
+    "PhaseScore",
+    "RatePoint",
+    "ReadDisturbFault",
+    "RepairReport",
+    "SCOPES",
+    "STUCK_NONE",
+    "STUCK_ROFF",
+    "STUCK_RON",
+    "SiteRepair",
+    "StuckAtFault",
+    "default_scenario",
+    "fresh_state",
+    "recalibrate",
+    "run_campaign",
+    "smoke_campaign",
+]

@@ -1,0 +1,256 @@
+"""Composable runtime fault models.
+
+Each model is a frozen dataclass describing one physical failure
+mechanism of the deployed accelerator; applying it mutates a
+:class:`~repro.faults.state.FaultState` using a caller-supplied seeded
+generator, so a list of models composes into one reproducible fault
+scenario (the :class:`~repro.faults.inject.FaultInjector` owns the
+seeding).
+
+Scopes
+------
+``"pe"``    independent draw per PE site (random defects);
+``"row"``   one draw per physical array row, applied to the whole row
+            (a shorted word line, a broken row driver);
+``"chip"``  one draw for the entire chip (shared reference, package
+            stress).
+
+The five shipped mechanisms:
+
+* :class:`StuckAtFault` — memristor pinned at Ron/Roff (forming
+  failure, filament rupture).  Irreparable: tuning pulses cannot move
+  a pinned device, so repair remaps around these sites.
+* :class:`DriftFault` — multiplicative conductance drift of the tuned
+  ratio, growing with log time and log programming-cycle count (the
+  standard retention/endurance laws).  Repairable by re-tuning.
+* :class:`LostPairFault` — a matched layout pair whose Section 3.3
+  tolerance control has been lost (local delamination / thermal
+  gradient); the pair ratio error jumps past the 1 % matching bound.
+  Repairable by re-tuning.
+* :class:`ReadDisturbFault` — per-settle multiplicative read noise
+  (sub-threshold disturb accumulating between refreshes).  Not
+  repairable by tuning; bounded by refresh policy.
+* :class:`AdcOffsetFault` — chip-level ADC reference and comparator
+  threshold offsets ("zero drift" of the converter).  Repairable by
+  the auto-zero trim.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import FaultInjectionError
+from .state import STUCK_NONE, STUCK_RON, STUCK_ROFF, FaultState
+
+SCOPES = ("pe", "row", "chip")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """Base class: a rate plus an injection scope.
+
+    ``rate`` is the probability that one *scope unit* (site, row or
+    chip) is affected.
+    """
+
+    rate: float = 0.01
+    scope: str = "pe"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultInjectionError(
+                f"fault rate must be in [0, 1], got {self.rate}"
+            )
+        if self.scope not in SCOPES:
+            raise FaultInjectionError(
+                f"unknown scope {self.scope!r}; choose from {SCOPES}"
+            )
+
+    def _site_mask(
+        self, state: FaultState, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Boolean per-site mask honouring the scope granularity."""
+        n = state.n_sites
+        if self.scope == "pe":
+            return rng.random(n) < self.rate
+        if self.scope == "row":
+            rows = rng.random(state.array_rows) < self.rate
+            return np.repeat(rows, state.array_cols)
+        return np.full(n, rng.random() < self.rate)
+
+    def apply(
+        self, state: FaultState, rng: np.random.Generator
+    ) -> None:
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class StuckAtFault(FaultModel):
+    """Memristor pinned at Ron, Roff, or an even mixture."""
+
+    mode: str = "mixed"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mode not in ("ron", "roff", "mixed"):
+            raise FaultInjectionError(
+                f"stuck-at mode must be ron/roff/mixed, got {self.mode!r}"
+            )
+
+    def apply(
+        self, state: FaultState, rng: np.random.Generator
+    ) -> None:
+        mask = self._site_mask(state, rng) & ~state.disabled
+        sites = np.flatnonzero(mask)
+        if self.mode == "ron":
+            codes = np.full(sites.size, STUCK_RON, dtype=np.int8)
+        elif self.mode == "roff":
+            codes = np.full(sites.size, STUCK_ROFF, dtype=np.int8)
+        else:
+            codes = np.where(
+                rng.random(sites.size) < 0.5, STUCK_RON, STUCK_ROFF
+            ).astype(np.int8)
+        state.stuck[sites] = codes
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftFault(FaultModel):
+    """Log-time / log-cycle multiplicative ratio drift.
+
+    The per-site drift factor is lognormal with
+    ``sigma = scale_per_decade * log10(1 + age_s)
+    + cycle_scale * log10(1 + cycles)`` — retention loss grows with
+    a decade of elapsed time, endurance wear with a decade of
+    reprogramming cycles.
+    """
+
+    rate: float = 1.0
+    scale_per_decade: float = 0.01
+    age_s: float = 0.0
+    cycles: int = 0
+    cycle_scale: float = 0.005
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        for name in ("scale_per_decade", "age_s", "cycle_scale"):
+            if getattr(self, name) < 0:
+                raise FaultInjectionError(f"{name} must be >= 0")
+        if self.cycles < 0:
+            raise FaultInjectionError("cycles must be >= 0")
+
+    @property
+    def sigma(self) -> float:
+        return self.scale_per_decade * np.log10(
+            1.0 + self.age_s
+        ) + self.cycle_scale * np.log10(1.0 + self.cycles)
+
+    def apply(
+        self, state: FaultState, rng: np.random.Generator
+    ) -> None:
+        sigma = self.sigma
+        if sigma == 0.0:
+            return
+        mask = self._site_mask(state, rng) & ~state.disabled
+        sites = np.flatnonzero(mask)
+        state.drift[sites] *= np.exp(
+            rng.normal(0.0, sigma, size=sites.size)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LostPairFault(FaultModel):
+    """Matched pair whose ratio error escaped the 1 % matching bound."""
+
+    sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sigma < 0:
+            raise FaultInjectionError("sigma must be >= 0")
+
+    def apply(
+        self, state: FaultState, rng: np.random.Generator
+    ) -> None:
+        if self.sigma == 0.0:
+            return
+        mask = self._site_mask(state, rng) & ~state.disabled
+        sites = np.flatnonzero(mask)
+        state.mismatch[sites] *= 1.0 + rng.normal(
+            0.0, self.sigma, size=sites.size
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadDisturbFault(FaultModel):
+    """Per-settle multiplicative read noise (chip-scoped)."""
+
+    rate: float = 1.0
+    scope: str = "chip"
+    sigma: float = 0.005
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.sigma < 0:
+            raise FaultInjectionError("sigma must be >= 0")
+
+    def apply(
+        self, state: FaultState, rng: np.random.Generator
+    ) -> None:
+        if rng.random() < self.rate:
+            state.read_disturb_sigma = max(
+                state.read_disturb_sigma, self.sigma
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class AdcOffsetFault(FaultModel):
+    """ADC reference / comparator threshold offset drift."""
+
+    rate: float = 1.0
+    scope: str = "chip"
+    adc_sigma_v: float = 2.0e-3
+    comparator_sigma_v: float = 2.0e-3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.adc_sigma_v < 0 or self.comparator_sigma_v < 0:
+            raise FaultInjectionError("offset sigmas must be >= 0")
+
+    def apply(
+        self, state: FaultState, rng: np.random.Generator
+    ) -> None:
+        if rng.random() >= self.rate:
+            return
+        state.adc_offset_v += float(
+            rng.normal(0.0, self.adc_sigma_v)
+        )
+        state.comparator_offset_v += float(
+            rng.normal(0.0, self.comparator_sigma_v)
+        )
+
+
+#: The deployment-survey default: rare hard faults on top of mild
+#: ageing — the scenario the smoke campaign and the pool's BIST
+#: defaults are tuned against.
+DEFAULT_SCENARIO: Tuple[FaultModel, ...] = (
+    StuckAtFault(rate=0.01),
+    DriftFault(age_s=1.0e6, scale_per_decade=0.002),
+    LostPairFault(rate=0.005),
+)
+
+__all__ = [
+    "SCOPES",
+    "FaultModel",
+    "StuckAtFault",
+    "DriftFault",
+    "LostPairFault",
+    "ReadDisturbFault",
+    "AdcOffsetFault",
+    "DEFAULT_SCENARIO",
+    "STUCK_NONE",
+    "STUCK_RON",
+    "STUCK_ROFF",
+]

@@ -88,6 +88,15 @@ class ResultCache:
             self._store.popitem(last=False)
             self.evictions += 1
 
+    def clear(self) -> None:
+        """Drop every entry (statistics survive).
+
+        The pool invalidates wholesale when a shard is quarantined:
+        any entry may have been produced by the faulted chip, and the
+        key carries no provenance to invalidate selectively.
+        """
+        self._store.clear()
+
     def __len__(self) -> int:
         return len(self._store)
 

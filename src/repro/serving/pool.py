@@ -15,8 +15,16 @@ submit/drain interface, with
   weights) absorbs repeated queries before they touch a shard;
 * **bounded queues** — per-shard admission control sheds load instead
   of queueing unboundedly (overload protection);
+* **online BIST & failover** — shards are periodically probed with
+  golden vectors (:mod:`repro.faults.bist`); a shard whose measured
+  error exceeds the health thresholds is quarantined, its in-flight
+  batch re-admitted to healthy shards (bounded retries), the result
+  cache dropped (it may hold faulted values), and — when auto-repair
+  is on — the chip is recalibrated (:mod:`repro.faults.repair`) and
+  requalified before it serves again;
 * **metrics** — counters, latency histograms and per-shard utilisation
-  exported as dict/JSON.
+  exported as dict/JSON (including the ``faults_*`` reliability
+  counters).
 
 Scheduling runs in *virtual time*: every request carries an arrival
 timestamp, service durations come from the accelerator's calibrated
@@ -37,7 +45,11 @@ from ..accelerator import DistanceAccelerator, ReconfigurationCost
 from ..accelerator.configurations import get_config
 from ..accelerator.power import accelerator_power
 from ..baselines.literature import CALIBRATED_OURS_PER_ELEMENT_S
-from ..errors import CapacityError, ConfigurationError
+from ..errors import (
+    CapacityError,
+    ConfigurationError,
+    ShardUnhealthyError,
+)
 from ..validation import as_sequence, require_same_length
 from .batcher import DynamicBatcher
 from .cache import ResultCache
@@ -65,6 +77,23 @@ class PoolConfig:
     latency_model:
         ``"calibrated"`` (per-element constants; fast) or
         ``"measured"`` (probe analog convergence per operating point).
+    bist_interval_s:
+        Virtual seconds between periodic BIST sweeps during ``drain``
+        (0 disables scheduling; :meth:`AcceleratorPool.run_bist` can
+        still be called explicitly).
+    bist_vectors, bist_length:
+        Probe-set size forwarded to the :class:`~repro.faults.bist.
+        BistRunner`.
+    bist_degraded_threshold, bist_failed_threshold:
+        Relative-error health classification bounds.
+    auto_repair:
+        Recalibrate a flagged shard (re-tune drifted ratios, remap
+        dead PEs, trim converter offsets) and requalify it before it
+        serves again.  A shard still *failed* after repair stays
+        quarantined.
+    fault_max_retries:
+        Times one in-flight request may be re-admitted to another
+        shard after its shard is quarantined, before it is shed.
     """
 
     queue_depth: int = 64
@@ -74,6 +103,13 @@ class PoolConfig:
     cache_capacity: int = 4096
     cache_resolution: float = 1.0e-6
     latency_model: str = "calibrated"
+    bist_interval_s: float = 0.0
+    bist_vectors: int = 2
+    bist_length: int = 8
+    bist_degraded_threshold: float = 0.01
+    bist_failed_threshold: float = 0.10
+    auto_repair: bool = True
+    fault_max_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -85,6 +121,21 @@ class PoolConfig:
         if self.latency_model not in ("calibrated", "measured"):
             raise ConfigurationError(
                 "latency_model must be 'calibrated' or 'measured'"
+            )
+        if self.bist_interval_s < 0:
+            raise ConfigurationError("bist_interval_s must be >= 0")
+        if not (
+            0.0
+            < self.bist_degraded_threshold
+            < self.bist_failed_threshold
+        ):
+            raise ConfigurationError(
+                "need 0 < bist_degraded_threshold "
+                "< bist_failed_threshold"
+            )
+        if self.fault_max_retries < 0:
+            raise ConfigurationError(
+                "fault_max_retries must be >= 0"
             )
 
 
@@ -149,6 +200,9 @@ class _Shard:
         self.current_function: Optional[str] = None
         self.served = 0
         self.batches = 0
+        self.health = "healthy"
+        self.quarantined = False
+        self.last_bist_s: Optional[float] = None
         self._unfinished: List[float] = []
 
     def depth_at(self, now: float) -> int:
@@ -211,6 +265,23 @@ class AcceleratorPool:
         self._settle_cache: Dict[Tuple, float] = {}
         self._energy_j = 0.0
         self._row_busy_s = 0.0
+        self._bist_runner = None
+        self._last_bist_s = 0.0
+        self._retries: Dict[int, int] = {}
+        self.last_reports: Dict[int, object] = {}
+        self.last_repairs: Dict[int, object] = {}
+        # Reliability counters exist (at zero) from the first
+        # snapshot, so dashboards see the series before any fault.
+        for name in (
+            "faults_bist_runs",
+            "faults_bist_detections",
+            "faults_quarantined",
+            "faults_requalified",
+            "faults_retried",
+            "faults_repaired_sites",
+            "faults_dead_sites",
+        ):
+            self.metrics.counter(name)
 
     # -- client API ----------------------------------------------------------
     def submit(
@@ -266,6 +337,7 @@ class AcceleratorPool:
         for request in requests:
             if self._first_arrival is None:
                 self._first_arrival = request.arrival_s
+            self._maybe_bist(request.arrival_s)
             self._flush_due(request.arrival_s)
             self._admit(request)
         self._flush_remaining()
@@ -324,7 +396,7 @@ class AcceleratorPool:
             )
             return
 
-        if self._batchable(request):
+        if self._batchable(request, shard):
             batch_key = self._batch_key(request)
             full = shard.batcher.add(
                 batch_key, request, request.arrival_s
@@ -334,14 +406,14 @@ class AcceleratorPool:
         else:
             self._execute_single(shard, request)
 
-    def _batchable(self, request: PoolRequest) -> bool:
+    def _batchable(self, request: PoolRequest, shard: _Shard) -> bool:
         if not self.config.enable_batching:
             return False
         config = get_config(request.function)
         if config.structure != "row":
             return False
-        cols = self.shards[0].accelerator.params.array_cols
-        if request.p.shape[0] > cols:
+        # Usable width, not nominal: dead PEs shrink the batch row.
+        if request.p.shape[0] > shard.accelerator.usable_cols:
             return False
         # Only kwargs the batched settle understands may coalesce.
         return set(request.kwargs) <= {"threshold"}
@@ -361,8 +433,18 @@ class AcceleratorPool:
             extra=tuple(sorted(request.kwargs.items())),
         )
 
+    def _active_shards(self) -> List[_Shard]:
+        return [s for s in self.shards if not s.quarantined]
+
     def _pick_shard(self, request: PoolRequest) -> _Shard:
-        """Least-loaded shard; function affinity breaks ties."""
+        """Least-loaded healthy shard; function affinity breaks ties."""
+        active = self._active_shards()
+        if not active:
+            raise ShardUnhealthyError(
+                f"all {len(self.shards)} shards are quarantined; "
+                f"request {request.id} ({request.function}) cannot "
+                "be served — repair or replace the pool"
+            )
         batch_key = self._batch_key(request)
 
         def score(shard: _Shard) -> Tuple:
@@ -381,7 +463,7 @@ class AcceleratorPool:
                 shard.index,
             )
 
-        return min(self.shards, key=score)
+        return min(active, key=score)
 
     def _flush_due(self, now: float) -> None:
         for shard in self.shards:
@@ -398,6 +480,149 @@ class AcceleratorPool:
                     items[0].arrival_s + shard.batcher.window_s
                 )
                 self._execute_batch(shard, items, deadline)
+
+    # -- reliability ---------------------------------------------------------
+    def inject_faults(self, injector, indices=None) -> Dict[int, object]:
+        """Stamp the injector's fault scenario onto shards.
+
+        ``indices`` selects shards (default: all).  This is the
+        experiment harness's act — it simulates nature degrading the
+        chips — so nothing is quarantined here; detection is BIST's
+        job.  Returns the attached fault states by shard index.
+        """
+        targets = (
+            self.shards
+            if indices is None
+            else [self.shards[i] for i in indices]
+        )
+        return {
+            shard.index: injector.inject(
+                shard.accelerator, index=shard.index
+            )
+            for shard in targets
+        }
+
+    def _bist(self):
+        if self._bist_runner is None:
+            from ..faults.bist import BistRunner
+
+            self._bist_runner = BistRunner(
+                n_vectors=self.config.bist_vectors,
+                length=self.config.bist_length,
+                degraded_threshold=self.config.bist_degraded_threshold,
+                failed_threshold=self.config.bist_failed_threshold,
+            )
+        return self._bist_runner
+
+    def _maybe_bist(self, now: float) -> None:
+        interval = self.config.bist_interval_s
+        if interval <= 0:
+            return
+        if now - self._last_bist_s >= interval:
+            self._flush_due(now)
+            self.run_bist(now=now)
+
+    def run_bist(self, now: Optional[float] = None) -> Dict[int, object]:
+        """One golden-vector health sweep over the active shards.
+
+        Flagged shards are quarantined (in-flight batches re-admitted
+        to healthy shards, result cache dropped) and, with
+        ``auto_repair``, recalibrated and requalified.  Returns the
+        *detection* reports by shard index; post-repair status lands
+        in ``shard.health`` and ``last_reports``.
+        """
+        now = self._virtual_now if now is None else float(now)
+        self._last_bist_s = now
+        runner = self._bist()
+        reports: Dict[int, object] = {}
+        for shard in self.shards:
+            if shard.quarantined:
+                continue
+            report = runner.probe(shard.accelerator)
+            self.metrics.counter("faults_bist_runs").inc()
+            shard.last_bist_s = now
+            shard.busy_until = (
+                max(shard.busy_until, now) + report.modelled_time_s
+            )
+            shard.busy_s += report.modelled_time_s
+            shard.health = report.status
+            reports[shard.index] = report
+            self.last_reports[shard.index] = report
+            if report.is_healthy:
+                continue
+            self.metrics.counter("faults_bist_detections").inc()
+            self._quarantine(shard)
+            if not self.config.auto_repair:
+                continue
+            if shard.accelerator.fault_state is None:
+                continue
+            self._repair(shard, runner)
+        return reports
+
+    def _repair(self, shard: _Shard, runner) -> None:
+        """Recalibrate one quarantined shard and requalify it."""
+        from ..faults.bist import FAILED
+        from ..faults.repair import recalibrate
+
+        repair = recalibrate(shard.accelerator)
+        self.last_repairs[shard.index] = repair
+        self.metrics.counter("faults_repaired_sites").inc(
+            repair.n_retuned
+        )
+        self.metrics.counter("faults_dead_sites").inc(repair.n_dead)
+        verdict = runner.probe(shard.accelerator)
+        self.metrics.counter("faults_bist_runs").inc()
+        shard.busy_until += verdict.modelled_time_s
+        shard.busy_s += verdict.modelled_time_s
+        shard.health = verdict.status
+        self.last_reports[shard.index] = verdict
+        if verdict.status != FAILED:
+            shard.quarantined = False
+            self.metrics.counter("faults_requalified").inc()
+
+    def _quarantine(self, shard: _Shard) -> None:
+        """Pull one shard out of service and drain its batcher.
+
+        In-flight requests are re-admitted to healthy shards up to
+        ``fault_max_retries`` times each; past that (or with no
+        healthy shard left) they are shed.  The result cache is
+        dropped wholesale — it may hold values the faulted chip
+        produced.
+        """
+        if shard.quarantined:
+            return
+        shard.quarantined = True
+        self.metrics.counter("faults_quarantined").inc()
+        self.cache.clear()
+        pending = [
+            request
+            for _, items in shard.batcher.flush()
+            for request in items
+        ]
+        for request in pending:
+            retries = self._retries.get(request.id, 0)
+            if (
+                retries >= self.config.fault_max_retries
+                or not self._active_shards()
+            ):
+                self.metrics.counter("shed").inc()
+                self._respond(
+                    request,
+                    PoolResponse(
+                        request_id=request.id,
+                        function=request.function,
+                        status="shed",
+                        value=None,
+                        arrival_s=request.arrival_s,
+                        start_s=request.arrival_s,
+                        finish_s=request.arrival_s,
+                        shard=shard.index,
+                    ),
+                )
+                continue
+            self._retries[request.id] = retries + 1
+            self.metrics.counter("faults_retried").inc()
+            self._admit(request)
 
     # -- execution -----------------------------------------------------------
     def _reconfigure(self, shard: _Shard, function: str) -> float:
@@ -594,6 +819,9 @@ class AcceleratorPool:
                 f"shard{shard.index}.utilisation"
             )
             gauge.set(utilisation)
+        self.metrics.gauge("faults_healthy_shards").set(
+            len(self._active_shards())
+        )
         data = self.metrics.as_dict()
         data["shards"] = [
             {
@@ -602,6 +830,14 @@ class AcceleratorPool:
                 "batches": shard.batches,
                 "busy_s": shard.busy_s,
                 "current_function": shard.current_function,
+                "health": shard.health,
+                "quarantined": shard.quarantined,
+                "last_bist_s": shard.last_bist_s,
+                "faults": (
+                    shard.accelerator.fault_state.summary()
+                    if shard.accelerator.fault_state is not None
+                    else None
+                ),
             }
             for shard in self.shards
         ]

@@ -1,10 +1,13 @@
 """Tests for the Monte-Carlo chip/yield analysis."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.analog import NonidealityModel
 from repro.eval import run_monte_carlo, yield_vs_tolerance
+from repro.eval.montecarlo import MonteCarloResult
 
 
 class TestMonteCarlo:
@@ -91,3 +94,11 @@ class TestYieldVsTolerance:
             pairs_per_chip=1,
         )
         assert curve[0.0] < 1.0
+
+
+class TestEmptySample:
+    def test_zero_chips_yield_is_nan(self):
+        result = MonteCarloResult(
+            function="manhattan", chips=[], specification=0.05
+        )
+        assert math.isnan(result.yield_fraction)

@@ -241,6 +241,62 @@ class TestRPR004:
         assert findings == []
 
 
+class TestRPR005:
+    CODE = """
+        import numpy as np
+
+        def jitter(x):
+            return x + np.random.normal(scale=0.1)
+        """
+
+    def test_global_rng_flagged_in_library(self):
+        findings = lint(
+            self.CODE, path="src/repro/analog/noise.py"
+        )
+        assert fired(findings) == {"RPR005"}
+        assert "default_rng" in findings[0].message
+
+    def test_numpy_alias_also_flagged(self):
+        findings = lint(
+            """
+            import numpy
+
+            def jitter(x):
+                return x + numpy.random.uniform()
+            """,
+            path="src/repro/analog/noise.py",
+        )
+        assert fired(findings) == {"RPR005"}
+
+    def test_seeded_factory_exempt(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            def jitter(x, seed):
+                rng = np.random.default_rng(seed)
+                return x + rng.normal(scale=0.1)
+            """,
+            path="src/repro/analog/noise.py",
+        )
+        assert findings == []
+
+    def test_non_library_path_exempt(self):
+        findings = lint(self.CODE, path="scripts/demo.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = lint(
+            """
+            import numpy as np
+
+            x = np.random.normal()  # noqa: RPR005
+            """,
+            path="src/repro/analog/noise.py",
+        )
+        assert findings == []
+
+
 class TestHarness:
     def test_noqa_suppression(self):
         findings = lint(
@@ -293,4 +349,6 @@ class TestHarness:
         assert payload[0]["code"] == "RPR002"
 
     def test_all_rules_registry(self):
-        assert ALL_RULES == ("RPR001", "RPR002", "RPR003", "RPR004")
+        assert ALL_RULES == (
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"
+        )

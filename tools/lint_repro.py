@@ -21,6 +21,12 @@ RPR003  raw time/resistance literal inside a function body of
 RPR004  a class named ``*Backend`` (the :class:`DistanceBackend`
         registration convention) missing one of the protocol methods
         ``compute`` / ``batch`` / ``pairwise``.
+RPR005  legacy global-state RNG call (``np.random.normal(...)``,
+        ``np.random.seed(...)``, …) inside ``repro`` library code.
+        Library randomness must flow through an injectable, seeded
+        ``np.random.default_rng`` / ``Generator`` — the global stream
+        makes fault-injection campaigns, Monte-Carlo yield runs and
+        BIST golden vectors irreproducible and order-dependent.
 
 Run standalone or in CI::
 
@@ -42,7 +48,7 @@ import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
-ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004")
+ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
 
 #: Annotation substrings treated as "array-typed" for RPR001.
 ARRAY_ANNOTATION_TOKENS = (
@@ -62,6 +68,19 @@ RAW_LITERAL_LARGE = 1.0e3
 MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
 
 BACKEND_REQUIRED_METHODS = ("compute", "batch", "pairwise")
+
+#: ``np.random`` attributes that construct seeded generators rather
+#: than touching the legacy global stream (RPR005 exemptions).
+SEEDED_RNG_FACTORIES = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -317,6 +336,42 @@ def _lint_rpr004(
             )
 
 
+def _is_library_module(path: Path) -> bool:
+    return "repro" in path.parts
+
+
+def _lint_rpr005(
+    tree: ast.AST, path: Path, findings: List[Finding]
+) -> None:
+    if not _is_library_module(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in ("np", "numpy")
+        ):
+            continue
+        if func.attr in SEEDED_RNG_FACTORIES:
+            continue
+        findings.append(
+            Finding(
+                str(path),
+                node.lineno,
+                node.col_offset,
+                "RPR005",
+                f"global-state RNG call np.random.{func.attr}(...); "
+                "library randomness must come from an injectable "
+                "seeded np.random.default_rng Generator",
+            )
+        )
+
+
 def _strip_suppressed(
     findings: List[Finding], source: str
 ) -> List[Finding]:
@@ -351,6 +406,8 @@ def lint_source(
         _lint_rpr003(tree, Path(path), findings)
     if "RPR004" in rules:
         _lint_rpr004(tree, path, findings)
+    if "RPR005" in rules:
+        _lint_rpr005(tree, Path(path), findings)
     findings = _strip_suppressed(findings, source)
     return sorted(findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -377,7 +434,7 @@ def lint_path(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lint_repro",
-        description="repo-specific AST lints (RPR001-RPR004)",
+        description="repo-specific AST lints (RPR001-RPR005)",
     )
     parser.add_argument(
         "paths", nargs="+", type=Path, help="files or directories"
