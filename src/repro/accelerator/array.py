@@ -16,7 +16,17 @@ result.
 from __future__ import annotations
 
 import dataclasses
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -28,10 +38,12 @@ from ..analog import (
     BlockGraph,
     DEFAULT_NONIDEALITY,
     DEFAULT_TIMING,
+    FrozenGraph,
     NonidealityModel,
     TimingModel,
     dc_solve,
     measure_convergence,
+    measure_convergence_many,
 )
 from ..errors import CapacityError, ConfigurationError
 from ..validation import (
@@ -97,6 +109,47 @@ class AcceleratorResult:
     n_blocks: int
 
 
+@dataclasses.dataclass
+class _GraphTemplate:
+    """A frozen, reusable block graph plus its rebind metadata.
+
+    ``slots`` maps input names (``"p"``, ``"q"``, boundary names, or
+    ``"in{k}"`` for batched settles) to positions in the frozen
+    graph's ``const_values`` array; a query copies ``base_const``,
+    writes its encoded voltages into those positions and solves the
+    rebound view — no Python graph rebuild, no repacking.
+    """
+
+    frozen: FrozenGraph
+    n_blocks: int
+    base_const: np.ndarray
+    slots: Dict[str, np.ndarray]
+    out: int = -1
+    outs: Optional[np.ndarray] = None
+    cells: Optional[Dict[Tuple[int, int], int]] = None
+    minima: Optional[List[int]] = None
+
+    def bind(self, updates: Dict[str, np.ndarray]) -> FrozenGraph:
+        """Frozen view with ``updates`` written into the input slots.
+
+        Values may carry a leading batch axis; the bound view then
+        solves the whole batch in one vectorized pass.
+        """
+        batch: Tuple[int, ...] = ()
+        for value in updates.values():
+            value = np.asarray(value)
+            if value.ndim > 1:
+                batch = value.shape[:-1]
+        cv = np.broadcast_to(
+            self.base_const, batch + self.base_const.shape
+        ).copy()
+        for name, value in updates.items():
+            positions = self.slots[name]
+            if positions.size:
+                cv[..., positions] = value
+        return self.frozen.bind(cv)
+
+
 class DistanceAccelerator:
     """A configured accelerator chip instance.
 
@@ -113,6 +166,19 @@ class DistanceAccelerator:
     quantise_io:
         Model DAC/ADC quantisation (disable for ideal-converter
         ablations).
+    use_template_cache:
+        Reuse frozen graph templates across queries that share a
+        structure key ``(function, n, m, weights, threshold, band)``,
+        rebinding only the source voltages per query.  Disable to
+        rebuild every graph from scratch (the pre-cache behaviour;
+        results are bit-identical either way).  The cache is bypassed
+        automatically when an attached fault map draws time-varying
+        read disturb, and invalidated (fault epoch bump) on
+        ``inject_faults``/``clear_faults``/recalibration.
+    solver:
+        ``"levelized"`` (default) settles in one pass per topological
+        depth level; ``"jacobi"`` is the reference full-graph sweep.
+        Bit-identical results.
     validate:
         Run the static electrical rule checker (:mod:`repro.check`)
         over the parameters and the configuration library at
@@ -131,6 +197,8 @@ class DistanceAccelerator:
         dac: Optional[DacArray] = None,
         adc: Optional[AdcArray] = None,
         quantise_io: bool = True,
+        use_template_cache: bool = True,
+        solver: str = "levelized",
         validate: bool = True,
     ) -> None:
         self.params = params
@@ -139,6 +207,20 @@ class DistanceAccelerator:
         self.dac = dac if dac is not None else DacArray()
         self.adc = adc if adc is not None else AdcArray()
         self.quantise_io = quantise_io
+        if solver not in ("levelized", "jacobi"):
+            raise ConfigurationError(
+                f"unknown solver {solver!r}; "
+                "expected 'levelized' or 'jacobi'"
+            )
+        self.solver = solver
+        self.use_template_cache = use_template_cache
+        self._templates: "OrderedDict[Hashable, _GraphTemplate]" = (
+            OrderedDict()
+        )
+        self._template_capacity = 256
+        self._template_hits = 0
+        self._template_misses = 0
+        self.fault_epoch = 0
         self.fault_state: "Optional[FaultState]" = None
         if validate:
             self.self_check().raise_if_errors(
@@ -162,12 +244,44 @@ class DistanceAccelerator:
 
         Subsequent computations build fault-aware block graphs; the
         usable array shrinks to the fault map's repacked healthy rows.
+        Cached graph templates are invalidated: a template frozen
+        before the fault map attached would silently serve fault-free
+        voltages.
         """
         self.fault_state = state
+        self.invalidate_templates()
 
     def clear_faults(self) -> None:
-        """Detach the fault map (chip replaced / faults healed)."""
+        """Detach the fault map (chip replaced / faults healed).
+
+        Invalidates cached templates — they embed the faulted weights.
+        """
         self.fault_state = None
+        self.invalidate_templates()
+
+    def invalidate_templates(self) -> None:
+        """Drop every cached graph template and bump the fault epoch.
+
+        Called automatically on ``inject_faults``/``clear_faults`` and
+        by :func:`repro.faults.repair.recalibrate`.  Call it manually
+        after mutating an attached :class:`FaultState` in place
+        (``disable_site``, offset tuning, ...) outside those paths.
+        """
+        self._templates.clear()
+        self.fault_epoch += 1
+
+    def template_cache_info(self) -> Dict[str, object]:
+        """Cache observability: hit/miss counters and the fault epoch."""
+        return {
+            "enabled": self.use_template_cache,
+            "active": self._template_cache_active(),
+            "solver": self.solver,
+            "size": len(self._templates),
+            "capacity": self._template_capacity,
+            "hits": self._template_hits,
+            "misses": self._template_misses,
+            "fault_epoch": self.fault_epoch,
+        }
 
     @property
     def usable_rows(self) -> int:
@@ -239,10 +353,66 @@ class DistanceAccelerator:
             self.adc.convert([voltage + self._fault_adc_offset()])[0]
         )
 
-    def _overflowed(self, voltages: np.ndarray, raw: float) -> bool:
+    def _overflowed(self, voltages: np.ndarray, raw) -> bool:
+        """True when the ADC clipped or any internal node ran into a
+        supply rail — either rail: subtractor chains can be driven
+        *below* the negative rail just as adders saturate the positive
+        one, and both invalidate the settled value.  ``raw`` may be a
+        scalar tap or an array of candidate taps.
+        """
         rail = self.params.vcc * 1.05
-        clipped = raw > self.adc.spec.full_scale - self.adc.spec.lsb
-        return bool(clipped or np.max(voltages) > rail)
+        clipped = bool(
+            np.any(
+                np.asarray(raw)
+                > self.adc.spec.full_scale - self.adc.spec.lsb
+            )
+        )
+        return bool(
+            clipped
+            or np.max(voltages) > rail
+            or np.min(voltages) < -rail
+        )
+
+    # -- graph-template cache ----------------------------------------------
+    def _template_cache_active(self) -> bool:
+        """Cache usable now?  Time-varying read disturb draws fresh
+        noise per *build* (stateful RNG), so a frozen template would
+        pin one noise sample forever — bypass the cache entirely."""
+        if not self.use_template_cache:
+            return False
+        state = self.fault_state
+        return state is None or state.read_disturb_sigma == 0.0
+
+    def _template(
+        self,
+        key: Hashable,
+        build: "Callable[[], _GraphTemplate]",
+    ) -> _GraphTemplate:
+        """Fetch-or-build a frozen graph template (LRU, per chip)."""
+        if not self._template_cache_active():
+            return build()
+        cached = self._templates.get(key)
+        if cached is not None:
+            self._templates.move_to_end(key)
+            self._template_hits += 1
+            return cached
+        self._template_misses += 1
+        template = build()
+        self._templates[key] = template
+        if len(self._templates) > self._template_capacity:
+            self._templates.popitem(last=False)
+        return template
+
+    def _const_positions(
+        self, frozen: FrozenGraph, ids: Sequence[int]
+    ) -> np.ndarray:
+        """Positions of const block ids inside ``const_values``."""
+        return np.searchsorted(
+            frozen.const_ids, np.asarray(list(ids), dtype=np.intp)
+        )
+
+    def _solve(self, frozen: FrozenGraph) -> np.ndarray:
+        return dc_solve(frozen, method=self.solver)
 
     # -- public API ----------------------------------------------------------
     def compute(
@@ -418,6 +588,112 @@ class DistanceAccelerator:
         result = self.batch(function, query, candidates, **kwargs)
         return int(np.argmin(result.values))
 
+    def compute_many(
+        self,
+        function: str,
+        pairs: Sequence,
+        weights=None,
+        threshold: float = 0.0,
+        band: Optional[float] = None,
+        paper_errata: bool = False,
+    ) -> "List[AcceleratorResult]":
+        """:meth:`compute` over many ``(p, q)`` pairs, one per result.
+
+        When every pair shares one graph structure — same lengths, one
+        ``weights`` argument, and the workload fits the array without
+        tiling — all pairs solve in a single vectorized settle of the
+        shared template (a ``(batch, n_const)`` rebind).  Each row of
+        the batched solve is bit-identical to the sequential
+        :meth:`compute` result; heterogeneous or tiled workloads fall
+        back to the sequential loop transparently.  This is the
+        primitive the BIST golden/probe runs and Monte-Carlo sweeps
+        amortize their settles with.  (Timing is never measured here;
+        use :meth:`compute` with ``measure_time=True`` for that.)
+        """
+        config = get_config(function)
+        checked = []
+        for k, (p, q) in enumerate(pairs):
+            p_arr = as_sequence(p, f"pairs[{k}][0]")
+            q_arr = as_sequence(q, f"pairs[{k}][1]")
+            if not config.supports_unequal_lengths:
+                require_same_length(p_arr, q_arr)
+            checked.append((p_arr, q_arr))
+        if not checked:
+            return []
+
+        def sequential() -> "List[AcceleratorResult]":
+            return [
+                self.compute(
+                    function,
+                    p_arr,
+                    q_arr,
+                    weights=weights,
+                    threshold=threshold,
+                    band=band,
+                    paper_errata=paper_errata,
+                )
+                for p_arr, q_arr in checked
+            ]
+
+        shapes = {
+            (p_arr.shape[0], q_arr.shape[0]) for p_arr, q_arr in checked
+        }
+        if len(shapes) != 1:
+            return sequential()
+        n, m = shapes.pop()
+        threshold_v = float(threshold) * self.params.voltage_resolution
+        if config.structure == "row":
+            if n > self.usable_cols:
+                return sequential()
+            w = as_weight_vector(weights, n)
+            pv0 = self._encode_inputs(checked[0][0])
+            qv0 = self._encode_inputs(checked[0][1])
+            template = self._row_segment_template(
+                config, pv0, qv0, w, threshold_v
+            )
+            conversion = self.dac.load_time(2 * n) + self.adc.read_time(1)
+        else:
+            if not (n <= self.usable_rows and m <= self.usable_cols):
+                return sequential()
+            w = as_weight_matrix(weights, n, m)
+            pv0 = self._encode_inputs(checked[0][0])
+            qv0 = self._encode_inputs(checked[0][1])
+            template = self._single_tile_template(
+                config, pv0, qv0, w, threshold_v, band, paper_errata
+            )
+            conversion = self.dac.load_time(n + m) + self.adc.read_time(1)
+
+        pvs = np.stack(
+            [self._encode_inputs(p_arr) for p_arr, _ in checked]
+        )
+        qvs = np.stack(
+            [self._encode_inputs(q_arr) for _, q_arr in checked]
+        )
+        bound = template.bind({"p": pvs, "q": qvs})
+        voltages = self._solve(bound)
+        results: "List[AcceleratorResult]" = []
+        for b in range(len(checked)):
+            raw = float(voltages[b, template.out])
+            adc_v = self._adc_read(raw)
+            # Row structure reports the post-ADC segment sum as its raw
+            # voltage (mirroring _compute_row's single-segment case).
+            raw_field = adc_v if config.structure == "row" else raw
+            results.append(
+                AcceleratorResult(
+                    function=config.name,
+                    value=self._decode(config, adc_v),
+                    raw_voltage=raw_field,
+                    adc_voltage=adc_v,
+                    convergence_time_s=None,
+                    conversion_time_s=conversion,
+                    total_time_s=None,
+                    tiles=1,
+                    overflow=self._overflowed(voltages[b], raw),
+                    n_blocks=template.n_blocks,
+                )
+            )
+        return results
+
     def _require_row_config(self, function: str) -> FunctionConfig:
         config = get_config(function)
         if config.structure != "row":
@@ -437,54 +713,94 @@ class DistanceAccelerator:
         measure_time: bool,
         dac_samples: int,
     ) -> BatchResult:
-        """One block graph, one settling, one result per pair."""
+        """One block graph, one settling, one result per pair.
+
+        The combined multi-row graph keeps the physical semantics (one
+        array row of hardware — and one run of fault sites — per pair),
+        so the template key must capture everything that shapes it: the
+        per-pair lengths, weights, and the input *sharing pattern* (a
+        1-vs-many query loads one DAC row driving every comparison).
+        """
         threshold_v = threshold * self.params.voltage_resolution
-        graph = self._new_graph()
-        const_ids: Dict[int, List[int]] = {}
-
-        def ids_for(arr: np.ndarray) -> List[int]:
-            # Shared inputs (the 1-vs-many query) load one DAC row and
-            # drive every comparison from the same const blocks.
-            key = id(arr)
-            if key not in const_ids:
-                volts = self._encode_inputs(arr)
-                const_ids[key] = [graph.const(v) for v in volts]
-            return const_ids[key]
-
-        outs: List[int] = []
-        for k, (p_arr, q_arr) in enumerate(pairs):
+        for p_arr, _q_arr in pairs:
             if p_arr.shape[0] > self.usable_cols:
                 raise ConfigurationError(
                     "batch mode requires the sequence to fit one array "
                     f"row; {p_arr.shape[0]} > {self.usable_cols} "
                     "(use DistanceAccelerator.compute, which tiles)"
                 )
-            p_ids = ids_for(p_arr)
-            q_ids = ids_for(q_arr)
-            if config.name == "hamming":
-                out = build_hamming_graph(
-                    graph,
-                    p_ids,
-                    q_ids,
-                    weight_vectors[k],
-                    self.params,
-                    threshold_v=threshold_v,
-                )
-            else:
-                out = build_manhattan_graph(
-                    graph, p_ids, q_ids, weight_vectors[k], self.params
-                )
-            graph.mark_output(f"cand{k}", out)
-            outs.append(out)
-
-        frozen = graph.freeze()
-        voltages = dc_solve(frozen)
-        raw = voltages[np.array(outs)]
-        overflow = bool(
-            np.max(voltages) > self.params.vcc * 1.05
-            or np.max(raw)
-            > self.adc.spec.full_scale - self.adc.spec.lsb
+        # Distinct input arrays, first-seen order, and each pair's
+        # (p, q) as indices into them: the DAC sharing pattern.
+        slot_of: Dict[int, int] = {}
+        arrays: List[np.ndarray] = []
+        pair_slots: List[Tuple[int, int]] = []
+        for p_arr, q_arr in pairs:
+            for arr in (p_arr, q_arr):
+                if id(arr) not in slot_of:
+                    slot_of[id(arr)] = len(arrays)
+                    arrays.append(arr)
+            pair_slots.append((slot_of[id(p_arr)], slot_of[id(q_arr)]))
+        key = (
+            "batch",
+            config.name,
+            threshold_v,
+            tuple(pair_slots),
+            tuple(arr.shape[0] for arr in arrays),
+            tuple(w.tobytes() for w in weight_vectors),
         )
+
+        def build() -> _GraphTemplate:
+            graph = self._new_graph()
+            slot_ids = [
+                [graph.const(v) for v in self._encode_inputs(arr)]
+                for arr in arrays
+            ]
+            outs: List[int] = []
+            for k, (ps, qs) in enumerate(pair_slots):
+                if config.name == "hamming":
+                    out = build_hamming_graph(
+                        graph,
+                        slot_ids[ps],
+                        slot_ids[qs],
+                        weight_vectors[k],
+                        self.params,
+                        threshold_v=threshold_v,
+                    )
+                else:
+                    out = build_manhattan_graph(
+                        graph,
+                        slot_ids[ps],
+                        slot_ids[qs],
+                        weight_vectors[k],
+                        self.params,
+                    )
+                graph.mark_output(f"cand{k}", out)
+                outs.append(out)
+            frozen = graph.freeze()
+            return _GraphTemplate(
+                frozen=frozen,
+                n_blocks=len(graph),
+                base_const=frozen.const_values.copy(),
+                slots={
+                    f"in{j}": self._const_positions(frozen, ids)
+                    for j, ids in enumerate(slot_ids)
+                },
+                outs=np.array(outs, dtype=np.intp),
+            )
+
+        was_cached = (
+            self._template_cache_active() and key in self._templates
+        )
+        template = self._template(key, build)
+        bound = template.bind(
+            {
+                f"in{j}": self._encode_inputs(arr)
+                for j, arr in enumerate(arrays)
+            }
+        )
+        voltages = self._solve(bound)
+        raw = voltages[template.outs]
+        overflow = self._overflowed(voltages, raw)
         read = (
             self.adc.convert(raw + self._fault_adc_offset())
             if self.quantise_io
@@ -496,7 +812,12 @@ class DistanceAccelerator:
 
         t_conv = None
         if measure_time:
-            t_conv, _ = measure_convergence(frozen, "cand0")
+            # One transient records every candidate tap; the strobe
+            # waits for the slowest row, so take the max.
+            times = measure_convergence_many(
+                bound, [f"cand{k}" for k in range(len(pairs))]
+            )
+            t_conv = max(t for t, _ in times.values())
         passes = int(np.ceil(len(pairs) / self.usable_rows))
         conversion = self.dac.load_time(
             dac_samples
@@ -508,6 +829,7 @@ class DistanceAccelerator:
             conversion_time_s=conversion,
             passes=passes,
             overflow=overflow,
+            template_cached=was_cached,
         )
 
     # -- single tile ---------------------------------------------------------
@@ -556,6 +878,50 @@ class DistanceAccelerator:
             f"no matrix builder for {config.name!r}"
         )
 
+    def _single_tile_template(
+        self,
+        config: FunctionConfig,
+        pv: np.ndarray,
+        qv: np.ndarray,
+        w: np.ndarray,
+        threshold_v: float,
+        band: Optional[float],
+        paper_errata: bool,
+    ) -> _GraphTemplate:
+        key = (
+            "tile",
+            config.name,
+            pv.shape[0],
+            qv.shape[0],
+            threshold_v,
+            band,
+            paper_errata,
+            w.tobytes(),
+        )
+
+        def build() -> _GraphTemplate:
+            graph = self._new_graph()
+            p_ids = [graph.const(v) for v in pv]
+            q_ids = [graph.const(v) for v in qv]
+            out = self._build(
+                config, graph, p_ids, q_ids, w, threshold_v, band,
+                paper_errata,
+            )
+            graph.mark_output("out", out)
+            frozen = graph.freeze()
+            return _GraphTemplate(
+                frozen=frozen,
+                n_blocks=len(graph),
+                base_const=frozen.const_values.copy(),
+                slots={
+                    "p": self._const_positions(frozen, p_ids),
+                    "q": self._const_positions(frozen, q_ids),
+                },
+                out=out,
+            )
+
+        return self._template(key, build)
+
     def _compute_single_tile(
         self,
         config: FunctionConfig,
@@ -567,22 +933,17 @@ class DistanceAccelerator:
         measure_time: bool,
         paper_errata: bool,
     ) -> AcceleratorResult:
-        graph = self._new_graph()
         pv = self._encode_inputs(p_arr)
         qv = self._encode_inputs(q_arr)
-        p_ids = [graph.const(v) for v in pv]
-        q_ids = [graph.const(v) for v in qv]
-        out = self._build(
-            config, graph, p_ids, q_ids, w, threshold_v, band,
-            paper_errata,
+        template = self._single_tile_template(
+            config, pv, qv, w, threshold_v, band, paper_errata
         )
-        graph.mark_output("out", out)
-        frozen = graph.freeze()
-        voltages = dc_solve(frozen)
-        raw = float(voltages[out])
+        bound = template.bind({"p": pv, "q": qv})
+        voltages = self._solve(bound)
+        raw = float(voltages[template.out])
         t_conv = None
         if measure_time:
-            t_conv, _ = measure_convergence(frozen, "out")
+            t_conv, _ = measure_convergence(bound, "out")
         adc_v = self._adc_read(raw)
         conversion = self.dac.load_time(
             p_arr.size + q_arr.size
@@ -599,10 +960,58 @@ class DistanceAccelerator:
             ),
             tiles=1,
             overflow=self._overflowed(voltages, raw),
-            n_blocks=len(graph),
+            n_blocks=template.n_blocks,
         )
 
     # -- row structure ---------------------------------------------------------
+    def _row_segment_template(
+        self,
+        config: FunctionConfig,
+        pv: np.ndarray,
+        qv: np.ndarray,
+        w_seg: np.ndarray,
+        threshold_v: float,
+    ) -> _GraphTemplate:
+        key = (
+            "row",
+            config.name,
+            pv.shape[0],
+            threshold_v,
+            w_seg.tobytes(),
+        )
+
+        def build() -> _GraphTemplate:
+            graph = self._new_graph()
+            p_ids = [graph.const(v) for v in pv]
+            q_ids = [graph.const(v) for v in qv]
+            if config.name == "hamming":
+                out = build_hamming_graph(
+                    graph,
+                    p_ids,
+                    q_ids,
+                    w_seg,
+                    self.params,
+                    threshold_v=threshold_v,
+                )
+            else:
+                out = build_manhattan_graph(
+                    graph, p_ids, q_ids, w_seg, self.params
+                )
+            graph.mark_output("out", out)
+            frozen = graph.freeze()
+            return _GraphTemplate(
+                frozen=frozen,
+                n_blocks=len(graph),
+                base_const=frozen.const_values.copy(),
+                slots={
+                    "p": self._const_positions(frozen, p_ids),
+                    "q": self._const_positions(frozen, q_ids),
+                },
+                out=out,
+            )
+
+        return self._template(key, build)
+
     def _compute_row(
         self,
         config: FunctionConfig,
@@ -621,36 +1030,22 @@ class DistanceAccelerator:
         blocks = 0
         for start, end in segments:
             sl = slice(start - 1, end)
-            graph = self._new_graph()
             pv = self._encode_inputs(p_arr[sl])
             qv = self._encode_inputs(q_arr[sl])
-            p_ids = [graph.const(v) for v in pv]
-            q_ids = [graph.const(v) for v in qv]
-            if config.name == "hamming":
-                out = build_hamming_graph(
-                    graph,
-                    p_ids,
-                    q_ids,
-                    w[sl],
-                    self.params,
-                    threshold_v=threshold_v,
-                )
-            else:
-                out = build_manhattan_graph(
-                    graph, p_ids, q_ids, w[sl], self.params
-                )
-            graph.mark_output("out", out)
-            frozen = graph.freeze()
-            voltages = dc_solve(frozen)
-            raw = float(voltages[out])
+            template = self._row_segment_template(
+                config, pv, qv, w[sl], threshold_v
+            )
+            bound = template.bind({"p": pv, "q": qv})
+            voltages = self._solve(bound)
+            raw = float(voltages[template.out])
             overflow = overflow or self._overflowed(voltages, raw)
             total_v += self._adc_read(raw)
-            blocks += len(graph)
+            blocks += template.n_blocks
             conversion += self.dac.load_time(
                 2 * (end - start + 1)
             ) + self.adc.read_time(1)
             if measure_time:
-                t_seg, _ = measure_convergence(frozen, "out")
+                t_seg, _ = measure_convergence(bound, "out")
                 t_conv_total += t_seg
         return AcceleratorResult(
             function=config.name,
@@ -670,6 +1065,79 @@ class DistanceAccelerator:
         )
 
     # -- tiled matrix DP ---------------------------------------------------------
+    def _dp_tile_template(
+        self,
+        config: FunctionConfig,
+        pv: np.ndarray,
+        qv: np.ndarray,
+        w_tile: np.ndarray,
+        threshold_v: float,
+        paper_errata: bool,
+        top: List[float],
+        left: List[float],
+        corner: float,
+    ) -> _GraphTemplate:
+        # An LCS tile with a 0 V corner shares the zero rail instead of
+        # a dedicated const — structurally a different graph, so the
+        # zero-ness is part of the key (see build_lcs_graph).
+        corner_shared = config.name == "lcs" and corner == 0.0
+        key = (
+            "dp",
+            config.name,
+            pv.shape[0],
+            qv.shape[0],
+            threshold_v,
+            paper_errata,
+            corner_shared,
+            w_tile.tobytes(),
+        )
+
+        def build() -> _GraphTemplate:
+            graph = self._new_graph()
+            p_ids = [graph.const(v) for v in pv]
+            q_ids = [graph.const(v) for v in qv]
+            cells: Dict[Tuple[int, int], int] = {}
+            boundary_ids: Dict[str, list] = {}
+            out = self._build(
+                config,
+                graph,
+                p_ids,
+                q_ids,
+                w_tile,
+                threshold_v,
+                None,
+                paper_errata,
+                cells_out=cells,
+                boundary_ids_out=boundary_ids,
+                boundary_top=top,
+                boundary_left=left,
+                boundary_corner=corner,
+            )
+            graph.mark_output("out", out)
+            frozen = graph.freeze()
+            return _GraphTemplate(
+                frozen=frozen,
+                n_blocks=len(graph),
+                base_const=frozen.const_values.copy(),
+                slots={
+                    "p": self._const_positions(frozen, p_ids),
+                    "q": self._const_positions(frozen, q_ids),
+                    "top": self._const_positions(
+                        frozen, boundary_ids.get("top", [])
+                    ),
+                    "left": self._const_positions(
+                        frozen, boundary_ids.get("left", [])
+                    ),
+                    "corner": self._const_positions(
+                        frozen, boundary_ids.get("corner", [])
+                    ),
+                },
+                out=out,
+                cells=cells,
+            )
+
+        return self._template(key, build)
+
     def _compute_tiled_dp(
         self,
         config: FunctionConfig,
@@ -706,39 +1174,40 @@ class DistanceAccelerator:
         for tile in tiles:
             i0, i1 = tile.row_start, tile.row_end
             j0, j1 = tile.col_start, tile.col_end
-            graph = self._new_graph()
             pv = self._encode_inputs(p_arr[i0 - 1 : i1])
             qv = self._encode_inputs(q_arr[j0 - 1 : j1])
-            p_ids = [graph.const(v) for v in pv]
-            q_ids = [graph.const(v) for v in qv]
-            boundary = {
-                "boundary_top": [
-                    self._requantise(dp[i0 - 1, j]) for j in range(j0, j1 + 1)
-                ],
-                "boundary_left": [
-                    self._requantise(dp[i, j0 - 1]) for i in range(i0, i1 + 1)
-                ],
-                "boundary_corner": self._requantise(dp[i0 - 1, j0 - 1]),
-            }
-            cells: Dict = {}
-            out = self._build(
+            top = [
+                self._requantise(dp[i0 - 1, j]) for j in range(j0, j1 + 1)
+            ]
+            left = [
+                self._requantise(dp[i, j0 - 1]) for i in range(i0, i1 + 1)
+            ]
+            corner = self._requantise(dp[i0 - 1, j0 - 1])
+            w_tile = w[i0 - 1 : i1, j0 - 1 : j1]
+            template = self._dp_tile_template(
                 config,
-                graph,
-                p_ids,
-                q_ids,
-                w[i0 - 1 : i1, j0 - 1 : j1],
+                pv,
+                qv,
+                w_tile,
                 threshold_v,
-                None,
                 paper_errata,
-                cells_out=cells,
-                **boundary,
+                top,
+                left,
+                corner,
             )
-            graph.mark_output("out", out)
-            frozen = graph.freeze()
-            voltages = dc_solve(frozen)
-            raw_tile = float(voltages[out])
+            updates = {
+                "p": pv,
+                "q": qv,
+                "top": np.asarray(top),
+                "left": np.asarray(left),
+                "corner": np.asarray([corner]),
+            }
+            bound = template.bind(updates)
+            voltages = self._solve(bound)
+            cells = template.cells or {}
+            raw_tile = float(voltages[template.out])
             overflow = overflow or self._overflowed(voltages, raw_tile)
-            blocks += len(graph)
+            blocks += template.n_blocks
             # Export the bottom row and right column (what neighbours
             # and the final readout need).
             for j in range(1, tile.n_cols + 1):
@@ -750,7 +1219,7 @@ class DistanceAccelerator:
                 tile.n_rows + tile.n_cols + exported
             ) + self.adc.read_time(exported)
             if measure_time:
-                t_tile, _ = measure_convergence(frozen, "out")
+                t_tile, _ = measure_convergence(bound, "out")
                 t_conv_total += t_tile
         raw = float(dp[n, m])
         adc_v = self._adc_read(raw)
@@ -792,28 +1261,55 @@ class DistanceAccelerator:
         for tile in tiles:
             i0, i1 = tile.row_start, tile.row_end
             j0, j1 = tile.col_start, tile.col_end
-            graph = self._new_graph()
             pv = self._encode_inputs(p_arr[i0 - 1 : i1])
             qv = self._encode_inputs(q_arr[j0 - 1 : j1])
-            p_ids = [graph.const(v) for v in pv]
-            q_ids = [graph.const(v) for v in qv]
-            minima_ids: List[int] = []
-            out = build_hausdorff_graph(
-                graph,
-                p_ids,
-                q_ids,
-                w[i0 - 1 : i1, j0 - 1 : j1],
-                self.params,
-                column_minima_out=minima_ids,
+            w_tile = w[i0 - 1 : i1, j0 - 1 : j1]
+            key = (
+                "haud",
+                pv.shape[0],
+                qv.shape[0],
+                w_tile.tobytes(),
             )
-            graph.mark_output("out", out)
-            frozen = graph.freeze()
-            voltages = dc_solve(frozen)
+
+            def build(
+                pv: np.ndarray = pv,
+                qv: np.ndarray = qv,
+                w_tile: np.ndarray = w_tile,
+            ) -> _GraphTemplate:
+                graph = self._new_graph()
+                p_ids = [graph.const(v) for v in pv]
+                q_ids = [graph.const(v) for v in qv]
+                minima_ids: List[int] = []
+                out = build_hausdorff_graph(
+                    graph,
+                    p_ids,
+                    q_ids,
+                    w_tile,
+                    self.params,
+                    column_minima_out=minima_ids,
+                )
+                graph.mark_output("out", out)
+                frozen = graph.freeze()
+                return _GraphTemplate(
+                    frozen=frozen,
+                    n_blocks=len(graph),
+                    base_const=frozen.const_values.copy(),
+                    slots={
+                        "p": self._const_positions(frozen, p_ids),
+                        "q": self._const_positions(frozen, q_ids),
+                    },
+                    out=out,
+                    minima=minima_ids,
+                )
+
+            template = self._template(key, build)
+            bound = template.bind({"p": pv, "q": qv})
+            voltages = self._solve(bound)
             overflow = overflow or self._overflowed(
-                voltages, float(voltages[out])
+                voltages, float(voltages[template.out])
             )
-            blocks += len(graph)
-            for k, block_id in enumerate(minima_ids):
+            blocks += template.n_blocks
+            for k, block_id in enumerate(template.minima or []):
                 measured = self._adc_read(float(voltages[block_id]))
                 j = j0 - 1 + k
                 col_min[j] = min(col_min[j], measured)
@@ -821,7 +1317,7 @@ class DistanceAccelerator:
                 tile.n_rows + tile.n_cols
             ) + self.adc.read_time(tile.n_cols)
             if measure_time:
-                t_tile, _ = measure_convergence(frozen, "out")
+                t_tile, _ = measure_convergence(bound, "out")
                 t_conv_total += t_tile
         raw = float(np.max(col_min))
         return AcceleratorResult(

@@ -29,7 +29,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclasses.dataclass
 class BatchResult:
-    """Outcome of one batch settle across the array rows."""
+    """Outcome of one batch settle across the array rows.
+
+    ``convergence_time_s`` is the *slowest* candidate tap's settle —
+    rows share one transient, and the ADC strobe cannot fire before
+    the last row is inside tolerance.  ``overflow`` likewise flags any
+    row pinned against either supply rail.
+    """
 
     function: str
     values: np.ndarray
@@ -37,6 +43,9 @@ class BatchResult:
     conversion_time_s: float
     passes: int
     overflow: bool
+    #: True when the settle reused a cached graph template rather
+    #: than rebuilding the block graph from scratch.
+    template_cached: bool = False
 
     @property
     def total_time_s(self) -> Optional[float]:

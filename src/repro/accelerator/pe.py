@@ -55,6 +55,7 @@ def build_dtw_graph(
     boundary_left: Optional[Sequence[float]] = None,
     boundary_corner: Optional[float] = None,
     cells_out: Optional[Dict[Tuple[int, int], int]] = None,
+    boundary_ids_out: Optional[Dict[str, list]] = None,
 ) -> int:
     """DTW PE matrix (Eq. 2).  Returns the ``D[n, m]`` block id.
 
@@ -65,12 +66,17 @@ def build_dtw_graph(
     ``D[1..n, 0]``, corner ``D[0, 0]``) default to the cold-start
     conditions (corner 0 V, edges at the infinity rail); the tiling
     layer passes measured voltages from neighbouring tiles instead.
+    ``boundary_ids_out`` (when given) receives the const block ids of
+    the rebindable boundary sources (``"corner"``/``"top"``/``"left"``)
+    so the template cache can re-drive a frozen tile with new boundary
+    voltages instead of rebuilding it.
     """
     _check_inputs(graph, list(p_ids) + list(q_ids))
     n, m = len(p_ids), len(q_ids)
     if weights.shape != (n, m):
         raise ConfigurationError("weights must be (n, m)")
     r = resolve_band(band, n, m)
+    bids: Dict[str, list] = {"corner": [], "top": [], "left": []}
     inf_rail = graph.const(params.infinity_rail, label="dtw_inf")
     corner = (
         params.infinity_rail * 0.0
@@ -79,6 +85,7 @@ def build_dtw_graph(
     )
     cells: Dict[Tuple[int, int], int] = {}
     cells[(0, 0)] = graph.const(corner, label="dtw_d00")
+    bids["corner"].append(cells[(0, 0)])
     for j in range(1, m + 1):
         if boundary_top is None:
             cells[(0, j)] = inf_rail
@@ -86,6 +93,7 @@ def build_dtw_graph(
             cells[(0, j)] = graph.const(
                 boundary_top[j - 1], label=f"dtw_top{j}"
             )
+            bids["top"].append(cells[(0, j)])
     for i in range(1, n + 1):
         if boundary_left is None:
             cells[(i, 0)] = inf_rail
@@ -93,6 +101,9 @@ def build_dtw_graph(
             cells[(i, 0)] = graph.const(
                 boundary_left[i - 1], label=f"dtw_left{i}"
             )
+            bids["left"].append(cells[(i, 0)])
+    if boundary_ids_out is not None:
+        boundary_ids_out.update(bids)
 
     for i in range(1, n + 1):
         centre = i * m / n
@@ -134,33 +145,49 @@ def build_lcs_graph(
     boundary_left: Optional[Sequence[float]] = None,
     boundary_corner: float = 0.0,
     cells_out: Optional[Dict[Tuple[int, int], int]] = None,
+    boundary_ids_out: Optional[Dict[str, list]] = None,
 ) -> int:
-    """LCS PE matrix (Eq. 3).  Returns the ``L[n, m]`` block id."""
+    """LCS PE matrix (Eq. 3).  Returns the ``L[n, m]`` block id.
+
+    Note for template caching: a zero corner shares the ``lcs_zero``
+    rail (no dedicated const exists, so ``boundary_ids_out["corner"]``
+    stays empty), which makes corner-is-zero part of the graph's
+    *structure* — cached templates must key on it.
+    """
     _check_inputs(graph, list(p_ids) + list(q_ids))
     n, m = len(p_ids), len(q_ids)
     if weights.shape != (n, m):
         raise ConfigurationError("weights must be (n, m)")
     if threshold_v is None:
         threshold_v = params.v_threshold
+    bids: Dict[str, list] = {"corner": [], "top": [], "left": []}
     cells: Dict[Tuple[int, int], int] = {}
     zero = graph.const(0.0, label="lcs_zero")
-    cells[(0, 0)] = (
-        zero
-        if boundary_corner == 0.0
-        else graph.const(boundary_corner, label="lcs_corner")
-    )
+    if boundary_corner == 0.0:
+        cells[(0, 0)] = zero
+    else:
+        cells[(0, 0)] = graph.const(
+            boundary_corner, label="lcs_corner"
+        )
+        bids["corner"].append(cells[(0, 0)])
     for j in range(1, m + 1):
-        cells[(0, j)] = (
-            zero
-            if boundary_top is None
-            else graph.const(boundary_top[j - 1], label=f"lcs_top{j}")
-        )
+        if boundary_top is None:
+            cells[(0, j)] = zero
+        else:
+            cells[(0, j)] = graph.const(
+                boundary_top[j - 1], label=f"lcs_top{j}"
+            )
+            bids["top"].append(cells[(0, j)])
     for i in range(1, n + 1):
-        cells[(i, 0)] = (
-            zero
-            if boundary_left is None
-            else graph.const(boundary_left[i - 1], label=f"lcs_left{i}")
-        )
+        if boundary_left is None:
+            cells[(i, 0)] = zero
+        else:
+            cells[(i, 0)] = graph.const(
+                boundary_left[i - 1], label=f"lcs_left{i}"
+            )
+            bids["left"].append(cells[(i, 0)])
+    if boundary_ids_out is not None:
+        boundary_ids_out.update(bids)
 
     for i in range(1, n + 1):
         for j in range(1, m + 1):
@@ -199,6 +226,7 @@ def build_edit_graph(
     boundary_left: Optional[Sequence[float]] = None,
     boundary_corner: Optional[float] = None,
     cells_out: Optional[Dict[Tuple[int, int], int]] = None,
+    boundary_ids_out: Optional[Dict[str, list]] = None,
 ) -> int:
     """EdD PE matrix (Eq. 4, standard semantics by default).
 
@@ -228,6 +256,14 @@ def build_edit_graph(
             else boundary_left[i - 1]
         )
         cells[(i, 0)] = graph.const(left_v, label=f"edd_left{i}")
+    if boundary_ids_out is not None:
+        boundary_ids_out.update(
+            {
+                "corner": [cells[(0, 0)]],
+                "top": [cells[(0, j)] for j in range(1, m + 1)],
+                "left": [cells[(i, 0)] for i in range(1, n + 1)],
+            }
+        )
 
     for i in range(1, n + 1):
         for j in range(1, m + 1):

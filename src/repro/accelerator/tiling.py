@@ -23,10 +23,11 @@ from typing import Iterator, List, Tuple
 
 @dataclasses.dataclass(frozen=True)
 class Tile:
-    """Half-open DP index ranges of one tile (1-based, inclusive ends).
+    """Closed (inclusive) DP index ranges of one tile, 1-based.
 
     ``rows`` covers ``i`` in ``[row_start, row_end]`` and ``cols``
-    covers ``j`` in ``[col_start, col_end]`` of the (1..n, 1..m) grid.
+    covers ``j`` in ``[col_start, col_end]`` of the (1..n, 1..m) grid —
+    both endpoints belong to the tile.
     """
 
     row_start: int

@@ -10,6 +10,7 @@ from .engine import (
     CONVERGENCE_TOLERANCE,
     dc_solve,
     measure_convergence,
+    measure_convergence_many,
     suggest_dt,
     transient,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "TimingModel",
     "dc_solve",
     "measure_convergence",
+    "measure_convergence_many",
     "suggest_dt",
     "transient",
 ]

@@ -19,7 +19,7 @@ from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import ConvergenceError
+from ..errors import ConfigurationError, ConvergenceError
 from .graph import BlockGraph, FrozenGraph
 
 #: The paper's convergence criterion: within 0.1 % of the final value.
@@ -35,20 +35,39 @@ def _freeze(graph: Union[BlockGraph, FrozenGraph]) -> FrozenGraph:
 def dc_solve(
     graph: Union[BlockGraph, FrozenGraph],
     max_sweeps: Optional[int] = None,
+    method: str = "levelized",
 ) -> np.ndarray:
     """Fixed point of the target map (the settled voltages).
 
-    Because builders only reference earlier blocks, the graph depth is
-    at most ``n_blocks`` and Jacobi sweeps reach an *exact* fixed point
-    in at most depth iterations (the target map is deterministic and
-    idempotent once inputs are stable).  Exact equality is required —
-    an absolute tolerance would let sub-tolerance inputs fail to
-    propagate through comparators, silently mis-deciding thresholds.
+    Because builders only reference earlier blocks, the graph is a
+    feedforward DAG, so the fixed point is unique and exact — and
+    reachable two ways:
+
+    * ``method="levelized"`` (default) evaluates each topological depth
+      level once, using only already-final inputs: exactly ``depth``
+      subset passes (see :meth:`FrozenGraph.solve`).
+    * ``method="jacobi"`` is the reference full-graph sweep, iterated
+      to an exact fixed point.  Exact equality is required — an
+      absolute tolerance would let sub-tolerance inputs fail to
+      propagate through comparators, silently mis-deciding thresholds.
+
+    Both are bit-identical (the per-level arithmetic is the same
+    elementwise sequence of operations).  Passing ``max_sweeps``
+    selects the Jacobi path, since a sweep limit only means something
+    there.  When the graph's bound ``const_values`` carry leading batch
+    axes the result is ``(*batch, n_blocks)`` — one vectorized settle
+    for the whole batch.
     """
     g = _freeze(graph)
+    if method == "levelized" and max_sweeps is None:
+        return g.solve()
+    if method not in ("levelized", "jacobi"):
+        raise ConfigurationError(
+            f"unknown dc_solve method {method!r}"
+        )
     if max_sweeps is None:
         max_sweeps = g.n_blocks + 2
-    v = np.zeros(g.n_blocks)
+    v = np.zeros(g.batch_shape + (g.n_blocks,))
     for _ in range(max_sweeps):
         new = g.targets(v)
         if np.array_equal(new, v):
@@ -74,14 +93,23 @@ class AnalogTransientResult:
         tolerance: float = CONVERGENCE_TOLERANCE,
     ) -> float:
         """Paper metric: first instant after which the output stays
-        within ``tolerance`` (relative) of its final settled value."""
-        wave = self.waves[name]
-        target = self.final[name]
-        scale = max(abs(target), 1.0e-9)
-        outside = np.abs(wave - target) > tolerance * scale
+        within ``tolerance`` (relative) of its final settled value.
+
+        For a batched run (waves with leading axes) the worst row
+        governs: the returned time is the max across the batch, since
+        the ADC strobe must wait for the slowest comparison.
+        """
+        wave = np.asarray(self.waves[name])
+        target = np.asarray(self.final[name])
+        scale = np.maximum(np.abs(target), 1.0e-9)
+        outside = (
+            np.abs(wave - target[..., None]) > tolerance * scale[..., None]
+        )
         if not np.any(outside):
             return float(self.time[0])
-        last = int(np.max(np.nonzero(outside)))
+        last = int(np.max(np.nonzero(np.any(
+            outside.reshape(-1, outside.shape[-1]), axis=0
+        ))))
         if last + 1 >= self.time.size:
             raise ConvergenceError(
                 f"output {name!r} did not converge within the simulated "
@@ -117,21 +145,49 @@ def transient(
     steps = int(np.ceil(t_stop / dt))
     time = np.linspace(0.0, steps * dt, steps + 1)
     decay = np.exp(-dt / g.tau)
-    v = np.zeros(g.n_blocks) if v0 is None else v0.copy()
+    batch = g.batch_shape
+    v = (
+        np.zeros(batch + (g.n_blocks,))
+        if v0 is None
+        else np.asarray(v0, dtype=np.float64).copy()
+    )
 
-    waves = {name: np.zeros(steps + 1) for name in record}
+    waves = {
+        name: np.zeros(v.shape[:-1] + (steps + 1,)) for name in record
+    }
     taps = {name: g.outputs[name] for name in record}
     for name, tap in taps.items():
-        waves[name][0] = v[tap]
+        waves[name][..., 0] = v[..., tap]
 
+    # Const targets never depend on v: evaluate them once and reuse the
+    # buffer, stepping only the non-const blocks per timestep.  The
+    # const slots carry gain 1 / offset 0, so this is bit-identical to
+    # re-evaluating the full target map every step.
+    t = np.zeros_like(v)
+    cv = g.const_values
+    if g.const_ids.size:
+        const_t = cv * g.gain[g.const_ids] + g.offset[g.const_ids]
+        if g.supply_rail is not None:
+            np.clip(
+                const_t, -g.supply_rail, g.supply_rail, out=const_t
+            )
+        t[..., g.const_ids] = const_t
+    ops = g._nonconst_ops()
     for k in range(1, steps + 1):
-        targets = g.targets(v)
-        v = targets + (v - targets) * decay
+        ops.eval_into(v, cv, t)
+        v = t + (v - t) * decay
         for name, tap in taps.items():
-            waves[name][k] = v[tap]
+            waves[name][..., k] = v[..., tap]
 
     settled = dc_solve(g)
-    final = {name: float(settled[tap]) for name, tap in taps.items()}
+    final = {
+        name: (
+            float(settled[tap])
+            if settled.ndim == 1
+            else settled[..., tap]
+        )
+        for name, tap in taps.items()
+    }
     return AnalogTransientResult(time=time, waves=waves, final=final)
 
 
@@ -152,12 +208,35 @@ def measure_convergence(
     tolerance: float = CONVERGENCE_TOLERANCE,
 ) -> "tuple[float, float]":
     """Convenience: simulate long enough and return
-    ``(convergence_time_s, final_value_v)`` for one output.
+    ``(convergence_time_s, final_value_v)`` for one output."""
+    results = measure_convergence_many(
+        graph,
+        [output],
+        safety_factor=safety_factor,
+        tolerance=tolerance,
+    )
+    return results[output]
 
-    The window is sized from the graph's total tau budget (sum of the
-    slowest chain is bounded by the sum over all blocks of tau, but a
-    ``safety_factor`` times the max-tau times depth-estimate is much
-    tighter; we grow the window geometrically on failure).
+
+def measure_convergence_many(
+    graph: Union[BlockGraph, FrozenGraph],
+    outputs: Sequence[str],
+    safety_factor: float = 30.0,
+    tolerance: float = CONVERGENCE_TOLERANCE,
+) -> "Dict[str, tuple[float, float]]":
+    """One transient, many tap points: ``{name: (t_conv_s, final_v)}``.
+
+    A batched settle (e.g. ``batch_pairs``) carries one candidate per
+    output tap; recording them all in a single transient costs the same
+    integration as recording one, so per-candidate convergence times
+    come for free.
+
+    The window is sized from the graph's total tau budget (a
+    ``safety_factor`` times the max tau times a depth estimate, floored
+    by the critical-path heuristic), growing geometrically on failure.
+    Each retry also coarsens ``dt`` by the same factor so the total
+    step count stays bounded — a fixed ``dt`` would multiply the work
+    4096x across the six attempts.
     """
     g = _freeze(graph)
     dt = suggest_dt(g)
@@ -168,14 +247,24 @@ def measure_convergence(
         14.0 * float(np.max(g.critical_tau)),
         safety_factor * float(np.max(g.tau)) * 4.0,
     )
+    attempted = window
     for _ in range(6):
+        attempted = window
         try:
-            result = transient(g, t_stop=window, dt=dt, record=[output])
-            t_conv = result.convergence_time(output, tolerance)
-            return t_conv, result.final[output]
+            result = transient(
+                g, t_stop=window, dt=dt, record=list(outputs)
+            )
+            return {
+                name: (
+                    result.convergence_time(name, tolerance),
+                    result.final[name],
+                )
+                for name in outputs
+            }
         except ConvergenceError:
             window *= 4.0
+            dt *= 4.0
     raise ConvergenceError(
-        f"output {output!r} failed to converge even in a "
-        f"{window:.3e} s window"
+        f"output(s) {list(outputs)!r} failed to converge even in a "
+        f"{attempted:.3e} s window"
     )

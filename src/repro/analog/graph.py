@@ -28,6 +28,7 @@ the graph is topologically ordered by construction.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -329,11 +330,198 @@ class BlockGraph:
         return FrozenGraph(self)
 
 
+class _SubsetOps:
+    """Evaluation plan for a subset of a :class:`FrozenGraph`'s blocks.
+
+    Packs the subset's blocks by kind (mirroring the full-graph packed
+    arrays) so one levelized pass — or the per-step transient update —
+    touches only those blocks.  Source indices still address the full
+    voltage vector; only the *written* positions are subset-local.
+    """
+
+    __slots__ = (
+        "ids",
+        "gain",
+        "offset",
+        "rail",
+        "const_pos",
+        "const_take",
+        "lin_pos",
+        "lin_src",
+        "lin_w",
+        "lin_ptr",
+        "lin_const",
+        "abs_pos",
+        "abs_a",
+        "abs_b",
+        "abs_w",
+        "max_pos",
+        "max_src",
+        "max_ptr",
+        "min_pos",
+        "min_src",
+        "min_ptr",
+        "mux_pos",
+        "mux_a",
+        "mux_b",
+        "mux_t",
+        "mux_f",
+        "mux_thr",
+        "gate_pos",
+        "gate_a",
+        "gate_b",
+        "gate_thr",
+        "gate_high",
+        "gate_low",
+    )
+
+    def __init__(self, frozen: "FrozenGraph", ids: np.ndarray) -> None:
+        self.ids = ids
+        self.gain = frozen.gain[ids]
+        self.offset = frozen.offset[ids]
+        self.rail = frozen.supply_rail
+        kinds = frozen.kind[ids]
+        pos = np.arange(ids.size, dtype=np.intp)
+
+        def members(kind: int) -> Tuple[np.ndarray, np.ndarray]:
+            mask = kinds == kind
+            return ids[mask], pos[mask]
+
+        sel, self.const_pos = members(KIND_CONST)
+        self.const_take = np.searchsorted(frozen.const_ids, sel)
+
+        sel, self.lin_pos = members(KIND_LIN)
+        li = np.searchsorted(frozen.lin_ids, sel)
+        full_ptr = np.append(frozen.lin_ptr, frozen.lin_src.size)
+        src: List[int] = []
+        w: List[float] = []
+        ptr = [0]
+        for k in li:
+            s, e = int(full_ptr[k]), int(full_ptr[k + 1])
+            src.extend(frozen.lin_src[s:e])
+            w.extend(frozen.lin_w[s:e])
+            ptr.append(len(src))
+        self.lin_src = np.array(src, dtype=np.intp)
+        self.lin_w = np.array(w)
+        self.lin_ptr = np.array(ptr[:-1], dtype=np.intp)
+        self.lin_const = frozen.lin_const[li]
+
+        sel, self.abs_pos = members(KIND_ABSDIFF)
+        ai = np.searchsorted(frozen.abs_ids, sel)
+        self.abs_a = frozen.abs_a[ai]
+        self.abs_b = frozen.abs_b[ai]
+        self.abs_w = frozen.abs_w[ai]
+
+        def pack(
+            full_ids: np.ndarray,
+            full_src: np.ndarray,
+            full_ptr_arr: np.ndarray,
+            sel_ids: np.ndarray,
+        ) -> Tuple[np.ndarray, np.ndarray]:
+            ki = np.searchsorted(full_ids, sel_ids)
+            fptr = np.append(full_ptr_arr, full_src.size)
+            out_src: List[int] = []
+            out_ptr = [0]
+            for k in ki:
+                out_src.extend(full_src[int(fptr[k]) : int(fptr[k + 1])])
+                out_ptr.append(len(out_src))
+            return (
+                np.array(out_src, dtype=np.intp),
+                np.array(out_ptr[:-1], dtype=np.intp),
+            )
+
+        sel, self.max_pos = members(KIND_MAX)
+        self.max_src, self.max_ptr = pack(
+            frozen.max_ids, frozen.max_src, frozen.max_ptr, sel
+        )
+        sel, self.min_pos = members(KIND_MIN)
+        self.min_src, self.min_ptr = pack(
+            frozen.min_ids, frozen.min_src, frozen.min_ptr, sel
+        )
+
+        sel, self.mux_pos = members(KIND_MUX)
+        mi = np.searchsorted(frozen.mux_ids, sel)
+        self.mux_a = frozen.mux_a[mi]
+        self.mux_b = frozen.mux_b[mi]
+        self.mux_t = frozen.mux_t[mi]
+        self.mux_f = frozen.mux_f[mi]
+        self.mux_thr = frozen.mux_thr[mi]
+
+        sel, self.gate_pos = members(KIND_GATE)
+        gi = np.searchsorted(frozen.gate_ids, sel)
+        self.gate_a = frozen.gate_a[gi]
+        self.gate_b = frozen.gate_b[gi]
+        self.gate_thr = frozen.gate_thr[gi]
+        self.gate_high = frozen.gate_high[gi]
+        self.gate_low = frozen.gate_low[gi]
+
+    def eval_into(
+        self, v: np.ndarray, const_values: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Write the subset's settled targets into ``out[..., ids]``.
+
+        Reads input voltages from ``v``; ``v`` and ``out`` may be the
+        same array (safe during a levelized pass: a block's inputs are
+        always at a strictly smaller depth, never in its own level).
+        Batched when ``v``/``const_values`` carry leading axes.
+        """
+        raw = np.zeros(v.shape[:-1] + (self.ids.size,))
+        if self.const_pos.size:
+            raw[..., self.const_pos] = const_values[..., self.const_take]
+        if self.lin_pos.size:
+            contrib = v[..., self.lin_src] * self.lin_w
+            raw[..., self.lin_pos] = (
+                np.add.reduceat(contrib, self.lin_ptr, axis=-1)
+                + self.lin_const
+            )
+        if self.abs_pos.size:
+            raw[..., self.abs_pos] = self.abs_w * np.abs(
+                v[..., self.abs_a] - v[..., self.abs_b]
+            )
+        if self.max_pos.size:
+            raw[..., self.max_pos] = np.maximum.reduceat(
+                v[..., self.max_src], self.max_ptr, axis=-1
+            )
+        if self.min_pos.size:
+            raw[..., self.min_pos] = np.minimum.reduceat(
+                v[..., self.min_src], self.min_ptr, axis=-1
+            )
+        if self.mux_pos.size:
+            close = (
+                np.abs(v[..., self.mux_a] - v[..., self.mux_b])
+                <= self.mux_thr
+            )
+            raw[..., self.mux_pos] = np.where(
+                close, v[..., self.mux_t], v[..., self.mux_f]
+            )
+        if self.gate_pos.size:
+            far = (
+                np.abs(v[..., self.gate_a] - v[..., self.gate_b])
+                > self.gate_thr
+            )
+            raw[..., self.gate_pos] = np.where(
+                far, self.gate_high, self.gate_low
+            )
+        raw = raw * self.gain + self.offset
+        if self.rail is not None:
+            np.clip(raw, -self.rail, self.rail, out=raw)
+        out[..., self.ids] = raw
+
+
 class FrozenGraph:
     """Immutable, array-packed view of a :class:`BlockGraph`.
 
     Blocks are grouped by kind; variable-arity kinds (lin/max/min) store
     their edges contiguously for ``reduceat``-style evaluation.
+
+    Two execution strategies share these arrays: the reference Jacobi
+    sweep (:func:`repro.analog.dc_solve` with ``method="jacobi"``) and
+    the levelized pass (:meth:`solve`), which exploits the topological
+    ``depth`` precomputed here to settle in exactly ``n_levels`` subset
+    evaluations.  :meth:`bind` rebinds ``const_values`` without
+    repacking, which is what the accelerator's graph-template cache
+    builds on; a bound view with a ``(batch, n_const)`` matrix solves
+    every row in one vectorized pass.
     """
 
     def __init__(self, graph: BlockGraph) -> None:
@@ -354,12 +542,22 @@ class FrozenGraph:
         # stages settle in roughly ln(1/tol) times this, which sizes
         # the transient window without trial and error.
         critical = np.zeros(n)
+        depth = np.zeros(n, dtype=np.intp)
         for i, b in enumerate(blocks):
             upstream = max(
                 (critical[s] for s in b.inputs), default=0.0
             )
             critical[i] = b.tau + upstream
+            if b.inputs:
+                depth[i] = 1 + max(depth[s] for s in b.inputs)
         self.critical_tau = critical
+        #: Topological depth per block (0 = sources); the levelized
+        #: solver settles the graph in exactly ``n_levels`` passes.
+        self.depth = depth
+        self.n_levels = int(depth.max()) + 1 if n else 0
+        # Lazily-built _SubsetOps, shared (by reference) with every
+        # bound view so rebinding const_values never repacks edges.
+        self._ops_cache: Dict[str, object] = {}
 
         def ids_of(kind: int) -> np.ndarray:
             return np.array(
@@ -460,46 +658,122 @@ class FrozenGraph:
         counts = Counter(KIND_NAMES[int(k)] for k in self.kind)
         out: Dict[str, int] = dict(sorted(counts.items()))
         out["total"] = self.n_blocks
-        # Depth: longest dependency chain, computed in id order (ids
-        # are topological by construction).
-        depth = [0] * self.n_blocks
-        for i, inputs in enumerate(self._inputs):
-            if inputs:
-                depth[i] = 1 + max(depth[s] for s in inputs)
-        out["depth"] = max(depth) if depth else 0
+        # Depth: longest dependency chain (ids are topological by
+        # construction), precomputed at freeze time for the solver.
+        out["depth"] = self.n_levels - 1 if self.n_blocks else 0
         return out
 
-    def targets(self, v: np.ndarray) -> np.ndarray:
-        """Evaluate every block's target from the current voltages."""
-        out = np.zeros(self.n_blocks)
+    @property
+    def batch_shape(self) -> Tuple[int, ...]:
+        """Leading axes of the bound ``const_values`` (``()`` = one
+        operating point; ``(B,)`` = B vectorized solves)."""
+        return tuple(self.const_values.shape[:-1])
+
+    def bind(self, const_values: np.ndarray) -> "FrozenGraph":
+        """A view of this graph with different source voltages.
+
+        ``const_values`` replaces the packed const-block values (last
+        axis must match; leading axes batch the solve).  The packed
+        structure — including the lazily-built levelized plans — is
+        shared by reference, so rebinding is O(1): this is the template
+        re-use primitive behind the accelerator's graph cache.
+        """
+        cv = np.asarray(const_values, dtype=np.float64)
+        if cv.shape[-1:] != (self.const_ids.size,):
+            raise ConfigurationError(
+                f"const_values last axis must be {self.const_ids.size}; "
+                f"got shape {cv.shape}"
+            )
+        bound = copy.copy(self)
+        bound.const_values = cv
+        return bound
+
+    def _level_ops(self) -> "List[_SubsetOps]":
+        ops = self._ops_cache.get("levels")
+        if ops is None:
+            ops = [
+                _SubsetOps(self, np.flatnonzero(self.depth == d))
+                for d in range(self.n_levels)
+            ]
+            self._ops_cache["levels"] = ops
+        return ops  # type: ignore[return-value]
+
+    def _nonconst_ops(self) -> "_SubsetOps":
+        ops = self._ops_cache.get("nonconst")
+        if ops is None:
+            ops = _SubsetOps(
+                self, np.flatnonzero(self.kind != KIND_CONST)
+            )
+            self._ops_cache["nonconst"] = ops
+        return ops  # type: ignore[return-value]
+
+    def solve(self, const_values: Optional[np.ndarray] = None) -> np.ndarray:
+        """Settled voltages via one levelized pass per depth level.
+
+        Builders only reference earlier blocks, so the graph is a
+        feedforward DAG: evaluating level ``d`` after levels
+        ``0..d-1`` uses only already-final inputs, making one pass per
+        level an *exact* fixed point — bit-identical to the Jacobi
+        reference sweep, in ``n_levels`` subset evaluations instead of
+        up to ``n_blocks + 2`` full-graph sweeps.
+
+        ``const_values`` (default: the bound values) may carry leading
+        batch axes; the result then has shape ``(*batch, n_blocks)``.
+        """
+        cv = (
+            self.const_values
+            if const_values is None
+            else np.asarray(const_values, dtype=np.float64)
+        )
+        v = np.zeros(cv.shape[:-1] + (self.n_blocks,))
+        for level in self._level_ops():
+            level.eval_into(v, cv, v)
+        return v
+
+    def targets(
+        self,
+        v: np.ndarray,
+        const_values: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Evaluate every block's target from the current voltages.
+
+        Batched when ``v`` is ``(*batch, n_blocks)`` (and
+        ``const_values``, if given, is ``(*batch, n_const)``).
+        """
+        cv = self.const_values if const_values is None else const_values
+        out = np.zeros(v.shape[:-1] + (self.n_blocks,))
         if self.const_ids.size:
-            out[self.const_ids] = self.const_values
+            out[..., self.const_ids] = cv
         if self.lin_ids.size:
-            contrib = v[self.lin_src] * self.lin_w
-            sums = np.add.reduceat(contrib, self.lin_ptr)
-            out[self.lin_ids] = sums + self.lin_const
+            contrib = v[..., self.lin_src] * self.lin_w
+            sums = np.add.reduceat(contrib, self.lin_ptr, axis=-1)
+            out[..., self.lin_ids] = sums + self.lin_const
         if self.abs_ids.size:
-            out[self.abs_ids] = self.abs_w * np.abs(
-                v[self.abs_a] - v[self.abs_b]
+            out[..., self.abs_ids] = self.abs_w * np.abs(
+                v[..., self.abs_a] - v[..., self.abs_b]
             )
         if self.max_ids.size:
-            out[self.max_ids] = np.maximum.reduceat(
-                v[self.max_src], self.max_ptr
+            out[..., self.max_ids] = np.maximum.reduceat(
+                v[..., self.max_src], self.max_ptr, axis=-1
             )
         if self.min_ids.size:
-            out[self.min_ids] = np.minimum.reduceat(
-                v[self.min_src], self.min_ptr
+            out[..., self.min_ids] = np.minimum.reduceat(
+                v[..., self.min_src], self.min_ptr, axis=-1
             )
         if self.mux_ids.size:
             close = (
-                np.abs(v[self.mux_a] - v[self.mux_b]) <= self.mux_thr
+                np.abs(v[..., self.mux_a] - v[..., self.mux_b])
+                <= self.mux_thr
             )
-            out[self.mux_ids] = np.where(
-                close, v[self.mux_t], v[self.mux_f]
+            out[..., self.mux_ids] = np.where(
+                close, v[..., self.mux_t], v[..., self.mux_f]
             )
         if self.gate_ids.size:
-            far = np.abs(v[self.gate_a] - v[self.gate_b]) > self.gate_thr
-            out[self.gate_ids] = np.where(
+            far = (
+                np.abs(v[..., self.gate_a] - v[..., self.gate_b])
+                > self.gate_thr
+            )
+            out[..., self.gate_ids] = np.where(
                 far, self.gate_high, self.gate_low
             )
         out = out * self.gain + self.offset

@@ -10,6 +10,9 @@ Commands
 ``report``    everything above in one run
 ``datasets``  list the available synthetic datasets
 ``serve-bench``  replay a mixed query stream through the pool
+``bench``     engine benchmark: vectorized execution engine vs the
+              seed engine (Jacobi sweeps, per-query graph rebuilds),
+              emitting ``BENCH_engine.json``
 ``faults``    fault-injection campaign: inject → BIST → repair →
               re-serve, reporting detection/repair rates and the
               served-accuracy curve
@@ -98,6 +101,38 @@ def _add_serving(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_bench(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "bench",
+        help=(
+            "engine benchmark (levelized + template cache + batching "
+            "vs the seed engine), writing BENCH_engine.json"
+        ),
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single-repeat CI preset",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per case (default: 3, smoke: 1)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        help="output JSON path (default BENCH_engine.json)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON report instead of the table",
+    )
+
+
 def _add_faults(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "faults",
@@ -135,6 +170,14 @@ def _add_faults(sub: argparse._SubParsersAction) -> None:
         "--no-repair",
         action="store_true",
         help="detect and quarantine only; skip recalibration",
+    )
+    p.add_argument(
+        "--no-template-cache",
+        action="store_true",
+        help=(
+            "rebuild every graph per settle (A/B check of the "
+            "template cache's fault-epoch invalidation)"
+        ),
     )
     p.add_argument(
         "--smoke",
@@ -183,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compute(sub)
     _add_sweeps(sub)
     _add_serving(sub)
+    _add_bench(sub)
     _add_faults(sub)
     _add_check(sub)
     return parser
@@ -361,6 +405,31 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .eval import run_engine_bench
+
+    report = run_engine_bench(
+        smoke=args.smoke, repeats=args.repeats, seed=args.seed
+    )
+    with open(args.out, "w") as fh:
+        fh.write(report.to_json(indent=2) + "\n")
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.table())
+        print(f"-- wrote {args.out}")
+    if not report.ok:
+        # Either the template-cached levelized path is no longer what
+        # a stock accelerator serves, or the engines disagree — both
+        # make the speedups meaningless, so fail loudly.
+        print(
+            "bench FAILED: fast path not default or engines diverge",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     from .faults import run_campaign, smoke_campaign
 
@@ -381,6 +450,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             array_cols=args.array,
             seed=args.seed,
             auto_repair=not args.no_repair,
+            use_template_cache=not args.no_template_cache,
             **kwargs,
         )
     if args.json:
@@ -399,6 +469,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "datasets": _cmd_datasets,
     "serve-bench": _cmd_serve_bench,
+    "bench": _cmd_bench,
     "faults": _cmd_faults,
     "check": _cmd_check,
 }

@@ -5,6 +5,12 @@ from .accuracy import (
     AccuracyRow,
     run_accuracy_comparison,
 )
+from .bench import (
+    SPEEDUP_FLOOR,
+    BenchCase,
+    BenchReport,
+    run_engine_bench,
+)
 from .fig5 import (
     ALL_FUNCTIONS,
     EVAL_THRESHOLD,
@@ -48,6 +54,8 @@ __all__ = [
     "AccuracyReport",
     "AccuracyRow",
     "BandSweepRow",
+    "BenchCase",
+    "BenchReport",
     "ChipSample",
     "EARLY_FUNCTIONS",
     "EVAL_THRESHOLD",
@@ -63,6 +71,7 @@ __all__ = [
     "PowerRow",
     "PowerTable",
     "ResolutionSweepRow",
+    "SPEEDUP_FLOOR",
     "SensitivityReport",
     "SensitivityRow",
     "full_report",
@@ -71,6 +80,7 @@ __all__ = [
     "measure_per_element_latency",
     "run_accuracy_comparison",
     "run_band_sweep",
+    "run_engine_bench",
     "run_monte_carlo",
     "run_fig5",
     "run_fig6a",

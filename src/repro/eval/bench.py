@@ -1,0 +1,244 @@
+"""Engine benchmark: the BENCH trajectory's first artefact.
+
+Times the vectorized execution engine (levelized settles + graph
+template cache + batched solves) against the seed engine's behaviour
+(Jacobi sweeps, graph rebuilt per settle) on three representative
+workloads:
+
+* ``single_dtw`` — repeated DTW n=40 ``compute`` on the paper's
+  128x128 array (single tile; the template cache is warm after the
+  first query, which is the serving steady state);
+* ``tiled_dtw`` — DTW n=40 on a 16x16 array (nine DP tiles per query;
+  exercises the boundary-rebinding path);
+* ``batch_manhattan`` — one 128-wide ``batch_pairs`` settle of n=16
+  Manhattan comparisons (the dynamic batcher's primitive).
+
+Every case checks bit-identical values between the two engines before
+timing — a benchmark of a wrong answer is worse than no benchmark.
+Results land in ``BENCH_engine.json`` via ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..accelerator import DistanceAccelerator
+from ..accelerator.params import PAPER_PARAMS
+
+#: Acceptance floors (see ISSUE 4): warm-cache single compute and the
+#: batched settle must beat the seed engine by at least this much.
+SPEEDUP_FLOOR = {"single_dtw": 5.0, "batch_manhattan": 3.0}
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchCase:
+    """One workload's timing comparison."""
+
+    name: str
+    fast_s: float
+    baseline_s: float
+    queries_per_s: float
+    baseline_queries_per_s: float
+    speedup: float
+    equivalent: bool
+    repeats: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class BenchReport:
+    """The full engine benchmark, ready for ``BENCH_engine.json``."""
+
+    cases: List[BenchCase]
+    template_cache_default: bool
+    levelized_default: bool
+    smoke: bool
+    seed: int
+
+    @property
+    def equivalent(self) -> bool:
+        return all(c.equivalent for c in self.cases)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run is meaningful: the fast path is what a
+        plain ``DistanceAccelerator()`` serves, and both engines agree
+        bit-for-bit on every case."""
+        return (
+            self.template_cache_default
+            and self.levelized_default
+            and self.equivalent
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "template_cache_default": self.template_cache_default,
+            "levelized_default": self.levelized_default,
+            "equivalent": self.equivalent,
+            "ok": self.ok,
+            "smoke": self.smoke,
+            "seed": self.seed,
+            "speedup_floors": dict(SPEEDUP_FLOOR),
+            "cases": [c.as_dict() for c in self.cases],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def table(self) -> str:
+        lines = [
+            f"{'case':<16} {'fast q/s':>10} {'seed q/s':>10} "
+            f"{'speedup':>8} {'equal':>6}"
+        ]
+        for c in self.cases:
+            lines.append(
+                f"{c.name:<16} {c.queries_per_s:>10.2f} "
+                f"{c.baseline_queries_per_s:>10.2f} "
+                f"{c.speedup:>7.1f}x "
+                f"{'yes' if c.equivalent else 'NO':>6}"
+            )
+        lines.append(
+            "-- template cache default: "
+            f"{'yes' if self.template_cache_default else 'NO'}, "
+            f"levelized default: "
+            f"{'yes' if self.levelized_default else 'NO'}"
+        )
+        return "\n".join(lines)
+
+
+def _time_case(
+    name: str,
+    fast: Callable[[], np.ndarray],
+    baseline: Callable[[], np.ndarray],
+    repeats: int,
+) -> BenchCase:
+    """Warm both engines (checking equivalence), then time best-of-N.
+
+    The warm-up call is deliberate, not a flaw: it programs the fast
+    engine's template so the timed loop measures the serving steady
+    state, which is what the cache exists for.
+    """
+    fast_values = fast()
+    baseline_values = baseline()
+    equivalent = bool(
+        np.array_equal(
+            np.asarray(fast_values), np.asarray(baseline_values)
+        )
+    )
+    fast_s = min(
+        _timed(fast) for _ in range(repeats)
+    )
+    baseline_s = min(
+        _timed(baseline) for _ in range(repeats)
+    )
+    return BenchCase(
+        name=name,
+        fast_s=fast_s,
+        baseline_s=baseline_s,
+        queries_per_s=1.0 / fast_s if fast_s > 0 else float("inf"),
+        baseline_queries_per_s=(
+            1.0 / baseline_s if baseline_s > 0 else float("inf")
+        ),
+        speedup=baseline_s / fast_s if fast_s > 0 else float("inf"),
+        equivalent=equivalent,
+        repeats=repeats,
+    )
+
+
+def _timed(fn: Callable[[], np.ndarray]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_engine_bench(
+    smoke: bool = False,
+    repeats: Optional[int] = None,
+    seed: int = 0,
+) -> BenchReport:
+    """Run the three-case engine benchmark.
+
+    ``smoke`` keeps the repeat count minimal for CI; ``repeats``
+    overrides it.  The baseline accelerators disable the template
+    cache and solve with Jacobi sweeps — the seed engine's execution
+    strategy on today's graph code, which is the honest lower bound
+    available without checking out the old tree.
+    """
+    if repeats is None:
+        repeats = 1 if smoke else 3
+    rng = np.random.default_rng(seed)
+    fast_chip = DistanceAccelerator()
+    seed_chip = DistanceAccelerator(
+        use_template_cache=False, solver="jacobi"
+    )
+    probe = DistanceAccelerator()
+    info = probe.template_cache_info()
+    template_cache_default = bool(info["enabled"])
+    levelized_default = info["solver"] == "levelized"
+
+    cases: List[BenchCase] = []
+
+    # 1. Repeated single-query DTW n=40 (paper's Fig. 6 length).
+    p40 = rng.normal(size=40)
+    q40 = rng.normal(size=40)
+    cases.append(
+        _time_case(
+            "single_dtw",
+            lambda: fast_chip.compute("dtw", p40, q40).value,
+            lambda: seed_chip.compute("dtw", p40, q40).value,
+            repeats,
+        )
+    )
+
+    # 2. Tiled DTW n=40 on a 16x16 array: nine tiles, boundary
+    #    conditions rebound per tile.
+    small = dataclasses.replace(
+        PAPER_PARAMS, array_rows=16, array_cols=16
+    )
+    fast_small = DistanceAccelerator(params=small, validate=False)
+    seed_small = DistanceAccelerator(
+        params=small,
+        validate=False,
+        use_template_cache=False,
+        solver="jacobi",
+    )
+    cases.append(
+        _time_case(
+            "tiled_dtw",
+            lambda: fast_small.compute("dtw", p40, q40).value,
+            lambda: seed_small.compute("dtw", p40, q40).value,
+            repeats,
+        )
+    )
+
+    # 3. One 128-wide manhattan batch_pairs settle (n=16 per pair).
+    batch_pairs = [
+        (rng.normal(size=16), rng.normal(size=16)) for _ in range(128)
+    ]
+    cases.append(
+        _time_case(
+            "batch_manhattan",
+            lambda: fast_chip.batch_pairs(
+                "manhattan", batch_pairs
+            ).values,
+            lambda: seed_chip.batch_pairs(
+                "manhattan", batch_pairs
+            ).values,
+            repeats,
+        )
+    )
+
+    return BenchReport(
+        cases=cases,
+        template_cache_default=template_cache_default,
+        levelized_default=levelized_default,
+        smoke=smoke,
+        seed=seed,
+    )

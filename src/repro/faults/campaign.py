@@ -338,13 +338,16 @@ def run_campaign(
     auto_repair: bool = True,
     bist_vectors: int = 1,
     bist_length: int = 8,
+    use_template_cache: bool = True,
 ) -> CampaignResult:
     """Sweep fault rates through the full inject→detect→repair loop.
 
     ``models`` overrides the per-rate :func:`default_scenario` with a
     fixed scenario (the ``rates`` then only vary the injection seed).
     Campaign chips use a small PE array so the BIST probe set covers
-    every physical site.
+    every physical site.  ``use_template_cache=False`` forces every
+    shard to rebuild graphs per settle — slower, but a useful A/B
+    when auditing the cache's fault-epoch invalidation.
     """
     if len(rates) == 0:
         raise ConfigurationError("need at least one fault rate")
@@ -372,7 +375,9 @@ def run_campaign(
             n_shards=n_shards,
             config=pool_config,
             accelerator_factory=lambda: DistanceAccelerator(
-                params=params, validate=False
+                params=params,
+                validate=False,
+                use_template_cache=use_template_cache,
             ),
         )
         baseline = _serve_phase(

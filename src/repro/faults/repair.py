@@ -248,6 +248,13 @@ def recalibrate(
     state.adc_offset_v = 0.0
     state.comparator_offset_v = 0.0
 
+    # The fault map changed under the accelerator's feet: any cached
+    # graph template embeds the pre-repair weights and comparator
+    # offsets, so bump the fault epoch before anything re-probes.
+    invalidate = getattr(accelerator, "invalidate_templates", None)
+    if invalidate is not None:
+        invalidate()
+
     return RepairReport(
         repairs=repairs,
         usable_rows_before=rows_before,

@@ -639,7 +639,21 @@ class AcceleratorPool:
         n = int(max(request.p.shape[0], request.q.shape[0]))
         if self.config.latency_model == "calibrated":
             return CALIBRATED_OURS_PER_ELEMENT_S[request.function] * n
-        key = (request.function, request.p.shape[0], request.q.shape[0])
+        # Settle time depends on the programmed conductance pattern,
+        # not just the operating shape: a weighted request builds a
+        # different graph than an unweighted one of the same lengths,
+        # and kwargs (threshold, band) change the comparator network.
+        w = request.weights
+        weights_digest = (
+            None if w is None else (w.shape, w.tobytes())
+        )
+        key = (
+            request.function,
+            request.p.shape[0],
+            request.q.shape[0],
+            weights_digest,
+            tuple(sorted(request.kwargs.items())),
+        )
         if key not in self._settle_cache:
             probe = shard.accelerator.compute(
                 request.function,
@@ -837,6 +851,9 @@ class AcceleratorPool:
                     shard.accelerator.fault_state.summary()
                     if shard.accelerator.fault_state is not None
                     else None
+                ),
+                "template_cache": (
+                    shard.accelerator.template_cache_info()
                 ),
             }
             for shard in self.shards

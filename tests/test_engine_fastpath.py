@@ -1,0 +1,389 @@
+"""Equivalence and regression tests for the vectorized engine.
+
+The levelized solver, the graph-template cache and the batched solves
+are all *pure optimisations*: every path must produce bit-identical
+voltages to the reference behaviour (Jacobi sweeps over a freshly
+rebuilt graph).  These tests pin that contract, plus the hot-path
+bugfixes that landed with the engine (pool settle-time cache key,
+batched timing/overflow, convergence retry loop).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.accelerator.array as array_module
+import repro.analog.engine as engine_module
+from repro.accelerator import (
+    AcceleratorParameters,
+    DistanceAccelerator,
+)
+from repro.analog import (
+    BlockGraph,
+    dc_solve,
+    measure_convergence_many,
+)
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.faults import (
+    FaultInjector,
+    FaultState,
+    StuckAtFault,
+    recalibrate,
+)
+from repro.serving import AcceleratorPool, PoolConfig
+
+ALL_FUNCTIONS = (
+    "dtw", "lcs", "edit", "hausdorff", "hamming", "manhattan"
+)
+
+
+def _kwargs(function: str) -> dict:
+    if function in ("lcs", "edit", "hamming"):
+        return {"threshold": 0.5}
+    return {}
+
+
+def _smoke_graph() -> "BlockGraph":
+    """A small graph exercising every block kind (the ERC smoke mix)."""
+    g = BlockGraph()
+    a = g.const(0.3)
+    b = g.const(0.7)
+    d = g.absdiff(a, b)
+    s = g.lin([(a, 1.0), (d, 0.5)])
+    mx = g.maximum([a, b, d, s])
+    mn = g.minimum([s, d, b])
+    sel = g.mux(a, b, mx, mn, threshold=0.4)
+    gated = g.gate(sel, d, threshold=0.2, v_high=0.9)
+    g.mark_output("out", g.lin([(sel, 1.0), (gated, 0.25)]))
+    g.mark_output("gated", gated)
+    return g
+
+
+class TestLevelizedEquivalence:
+    def test_smoke_graph_levelized_matches_jacobi(self):
+        frozen = _smoke_graph().freeze()
+        levelized = dc_solve(frozen, method="levelized")
+        jacobi = dc_solve(frozen, method="jacobi")
+        assert np.array_equal(levelized, jacobi)
+
+    @pytest.mark.parametrize("function", ALL_FUNCTIONS)
+    def test_accelerator_values_bit_identical(self, function, rng):
+        p = rng.normal(size=10)
+        q = rng.normal(size=10)
+        fast = DistanceAccelerator()
+        reference = DistanceAccelerator(
+            use_template_cache=False, solver="jacobi"
+        )
+        kwargs = _kwargs(function)
+        a = fast.compute(function, p, q, **kwargs)
+        b = reference.compute(function, p, q, **kwargs)
+        assert a.value == b.value
+        assert a.raw_voltage == b.raw_voltage
+        assert a.adc_voltage == b.adc_voltage
+
+    def test_tiled_values_bit_identical(self, rng):
+        params = AcceleratorParameters(array_rows=4, array_cols=4)
+        p = rng.normal(size=9)
+        q = rng.normal(size=9)
+        fast = DistanceAccelerator(params=params, validate=False)
+        reference = DistanceAccelerator(
+            params=params,
+            validate=False,
+            use_template_cache=False,
+            solver="jacobi",
+        )
+        for function in ("dtw", "hausdorff", "manhattan"):
+            a = fast.compute(function, p, q)
+            b = reference.compute(function, p, q)
+            assert a.value == b.value, function
+            assert a.tiles == b.tiles and a.tiles > 1
+
+    def test_unknown_method_and_solver_rejected(self):
+        frozen = _smoke_graph().freeze()
+        with pytest.raises(ConfigurationError):
+            dc_solve(frozen, method="gauss-seidel")
+        with pytest.raises(ConfigurationError):
+            DistanceAccelerator(solver="spice")
+
+
+class TestTemplateCache:
+    def test_warm_cache_hits_and_identical_values(self, rng):
+        chip = DistanceAccelerator()
+        p = rng.normal(size=12)
+        q = rng.normal(size=12)
+        first = chip.compute("dtw", p, q).value
+        info = chip.template_cache_info()
+        assert info["enabled"] and info["active"]
+        assert info["solver"] == "levelized"
+        assert info["misses"] >= 1 and info["size"] >= 1
+        second = chip.compute("dtw", p, q).value
+        assert chip.template_cache_info()["hits"] >= 1
+        assert first == second
+
+    def test_rebind_serves_new_inputs(self, rng):
+        chip = DistanceAccelerator()
+        p1, q1 = rng.normal(size=10), rng.normal(size=10)
+        p2, q2 = rng.normal(size=10), rng.normal(size=10)
+        chip.compute("manhattan", p1, q1)
+        cached = chip.compute("manhattan", p2, q2).value
+        fresh = DistanceAccelerator(use_template_cache=False).compute(
+            "manhattan", p2, q2
+        ).value
+        assert cached == fresh
+
+    def test_fault_transitions_invalidate(self, rng):
+        chip = DistanceAccelerator()
+        p, q = rng.normal(size=8), rng.normal(size=8)
+        chip.compute("manhattan", p, q)
+        assert chip.template_cache_info()["size"] >= 1
+        epoch = chip.fault_epoch
+        FaultInjector([StuckAtFault(rate=0.05)], seed=3).inject(chip)
+        assert chip.fault_epoch == epoch + 1
+        assert chip.template_cache_info()["size"] == 0
+        chip.compute("manhattan", p, q)
+        chip.clear_faults()
+        assert chip.fault_epoch == epoch + 2
+        assert chip.template_cache_info()["size"] == 0
+
+    def test_faulted_and_repaired_values_match_uncached(self, rng):
+        p, q = rng.normal(size=8), rng.normal(size=8)
+        cached = DistanceAccelerator()
+        uncached = DistanceAccelerator(
+            use_template_cache=False, solver="jacobi"
+        )
+        clean = cached.compute("manhattan", p, q).value
+        for chip in (cached, uncached):
+            FaultInjector(
+                [StuckAtFault(rate=0.05)], seed=11
+            ).inject(chip)
+        # Warm the cached chip's faulted template, then compare.
+        cached.compute("manhattan", p, q)
+        assert (
+            cached.compute("manhattan", p, q).value
+            == uncached.compute("manhattan", p, q).value
+        )
+        for chip in (cached, uncached):
+            recalibrate(chip)
+        assert (
+            cached.compute("manhattan", p, q).value
+            == uncached.compute("manhattan", p, q).value
+        )
+        for chip in (cached, uncached):
+            chip.clear_faults()
+        restored = cached.compute("manhattan", p, q).value
+        assert restored == clean
+        assert restored == uncached.compute("manhattan", p, q).value
+
+    def test_recalibrate_bumps_epoch(self, rng):
+        chip = DistanceAccelerator()
+        FaultInjector([StuckAtFault(rate=0.05)], seed=5).inject(chip)
+        chip.compute("manhattan", rng.normal(size=6), rng.normal(size=6))
+        epoch = chip.fault_epoch
+        recalibrate(chip)
+        assert chip.fault_epoch == epoch + 1
+        assert chip.template_cache_info()["size"] == 0
+
+    def test_read_disturb_bypasses_cache(self, rng):
+        chip = DistanceAccelerator()
+        chip.inject_faults(
+            FaultState(
+                array_rows=chip.params.array_rows,
+                array_cols=chip.params.array_cols,
+                read_disturb_sigma=0.01,
+            )
+        )
+        assert not chip.template_cache_info()["active"]
+        chip.compute("manhattan", rng.normal(size=6), rng.normal(size=6))
+        # Nothing may be pinned: every settle draws fresh read noise.
+        assert chip.template_cache_info()["size"] == 0
+
+    def test_lru_eviction_bounds_size(self, rng):
+        chip = DistanceAccelerator()
+        chip._template_capacity = 2
+        for n in (4, 5, 6, 7):
+            chip.compute(
+                "manhattan", rng.normal(size=n), rng.normal(size=n)
+            )
+        assert chip.template_cache_info()["size"] <= 2
+
+
+class TestBatchedSolve:
+    def test_batched_rows_match_per_vector_solves(self):
+        frozen = _smoke_graph().freeze()
+        base = frozen.const_values
+        batch = np.stack([base, base * 0.5, base * -0.25])
+        solved = dc_solve(frozen.bind(batch))
+        assert solved.shape == (3, frozen.n_blocks)
+        for row in range(3):
+            single = dc_solve(frozen.bind(batch[row]))
+            assert np.array_equal(solved[row], single)
+
+    def test_bind_rejects_wrong_width(self):
+        frozen = _smoke_graph().freeze()
+        with pytest.raises(ConfigurationError):
+            frozen.bind(np.zeros(frozen.const_ids.size + 1))
+
+    @pytest.mark.parametrize("function", ALL_FUNCTIONS)
+    def test_compute_many_matches_sequential(self, function, rng):
+        pairs = [
+            (rng.normal(size=10), rng.normal(size=10))
+            for _ in range(3)
+        ]
+        chip = DistanceAccelerator()
+        kwargs = _kwargs(function)
+        many = chip.compute_many(function, pairs, **kwargs)
+        for (p, q), result in zip(pairs, many):
+            single = chip.compute(function, p, q, **kwargs)
+            assert result.value == single.value
+            assert result.raw_voltage == single.raw_voltage
+            assert result.adc_voltage == single.adc_voltage
+            assert result.overflow == single.overflow
+
+    def test_compute_many_heterogeneous_falls_back(self, rng):
+        chip = DistanceAccelerator()
+        pairs = [
+            (rng.normal(size=6), rng.normal(size=6)),
+            (rng.normal(size=9), rng.normal(size=9)),
+        ]
+        many = chip.compute_many("manhattan", pairs)
+        for (p, q), result in zip(pairs, many):
+            assert result.value == chip.compute(
+                "manhattan", p, q
+            ).value
+
+    def test_batch_pairs_reports_template_reuse(self, rng):
+        chip = DistanceAccelerator()
+        pairs = [
+            (rng.normal(size=8), rng.normal(size=8)) for _ in range(4)
+        ]
+        cold = chip.batch_pairs("manhattan", pairs)
+        warm = chip.batch_pairs("manhattan", pairs)
+        assert not cold.template_cached
+        assert warm.template_cached
+        assert np.array_equal(cold.values, warm.values)
+
+
+class TestPoolSettleKey:
+    """Regression: the settle-time memo must key on the programmed
+    weights and the request kwargs, not just the operand lengths."""
+
+    def _pool(self) -> AcceleratorPool:
+        return AcceleratorPool(
+            n_shards=1,
+            config=PoolConfig(
+                enable_batching=False,
+                cache_capacity=0,
+                latency_model="measured",
+            ),
+        )
+
+    def test_weights_digest_in_key(self, rng):
+        pool = self._pool()
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        pool.submit("manhattan", p, q)
+        pool.submit("manhattan", p, q, weights=np.full(6, 2.0))
+        pool.drain()
+        assert len(pool._settle_cache) == 2
+
+    def test_kwargs_in_key(self, rng):
+        pool = self._pool()
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        pool.submit("hamming", p, q, threshold=0.2)
+        pool.submit("hamming", p, q, threshold=0.8)
+        pool.drain()
+        assert len(pool._settle_cache) == 2
+
+    def test_identical_requests_share_one_probe(self, rng):
+        pool = self._pool()
+        p, q = rng.normal(size=6), rng.normal(size=6)
+        pool.submit("manhattan", p, q)
+        pool.submit("manhattan", p, q)
+        pool.drain()
+        assert len(pool._settle_cache) == 1
+
+
+class TestBatchTimingAndOverflow:
+    def test_batch_timing_takes_slowest_tap_in_one_transient(
+        self, rng, monkeypatch
+    ):
+        calls = []
+
+        def fake_many(bound, outputs, **kwargs):
+            calls.append(list(outputs))
+            return {
+                name: (float(k + 1) * 1e-9, 0.0)
+                for k, name in enumerate(outputs)
+            }
+
+        monkeypatch.setattr(
+            array_module, "measure_convergence_many", fake_many
+        )
+        chip = DistanceAccelerator()
+        pairs = [
+            (rng.normal(size=6), rng.normal(size=6)) for _ in range(3)
+        ]
+        result = chip.batch_pairs(
+            "manhattan", pairs, measure_time=True
+        )
+        # One transient records every candidate tap; the strobe waits
+        # for the slowest one.
+        assert calls == [["cand0", "cand1", "cand2"]]
+        assert result.convergence_time_s == pytest.approx(3e-9)
+
+    def test_overflow_checks_both_rails(self):
+        chip = DistanceAccelerator()
+        rail = chip.params.vcc * 1.05
+        ok = np.array([0.0, 0.2, -0.3])
+        assert not chip._overflowed(ok, 0.1)
+        assert chip._overflowed(np.array([0.0, rail * 1.01]), 0.1)
+        assert chip._overflowed(np.array([0.0, -rail * 1.01]), 0.1)
+        clip = chip.adc.spec.full_scale
+        assert chip._overflowed(ok, clip)
+        assert chip._overflowed(ok, np.array([0.1, clip]))
+
+
+class TestConvergenceRetry:
+    def test_retry_coarsens_dt_with_window(self, monkeypatch):
+        attempts = []
+
+        def always_fails(g, t_stop, dt, record=None, **kwargs):
+            attempts.append((t_stop, dt))
+            raise ConvergenceError("window too small")
+
+        monkeypatch.setattr(engine_module, "transient", always_fails)
+        frozen = _smoke_graph().freeze()
+        with pytest.raises(ConvergenceError) as excinfo:
+            measure_convergence_many(frozen, ["out"])
+        assert len(attempts) == 6
+        windows = [a[0] for a in attempts]
+        dts = [a[1] for a in attempts]
+        for k in range(1, 6):
+            assert windows[k] == pytest.approx(4.0 * windows[k - 1])
+            assert dts[k] == pytest.approx(4.0 * dts[k - 1])
+        # The error reports the largest window actually attempted,
+        # not the never-run next one.
+        assert f"{windows[-1]:.3e}" in str(excinfo.value)
+
+    def test_retry_recovers_and_returns(self, monkeypatch):
+        real_transient = engine_module.transient
+        state = {"failures": 2, "calls": 0}
+
+        def flaky(g, t_stop, dt, record=None, **kwargs):
+            state["calls"] += 1
+            if state["calls"] <= state["failures"]:
+                raise ConvergenceError("not yet")
+            return real_transient(
+                g, t_stop=t_stop, dt=dt, record=record, **kwargs
+            )
+
+        monkeypatch.setattr(engine_module, "transient", flaky)
+        frozen = _smoke_graph().freeze()
+        results = measure_convergence_many(frozen, ["out", "gated"])
+        assert state["calls"] == 3
+        assert set(results) == {"out", "gated"}
+        for t_conv, final in results.values():
+            assert t_conv >= 0.0
+            assert np.isfinite(final)
