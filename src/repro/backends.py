@@ -228,8 +228,18 @@ def resolve_backend(
             return SoftwareBackend()
         if key == "accelerator":
             return AcceleratorBackend()
+        if key == "pool":
+            # Imported lazily: the serving layer imports this module.
+            from .serving import PoolBackend
+
+            return PoolBackend()
+        if key == "resilient":
+            from .serving.resilience import ResilientBackend
+
+            return ResilientBackend()
         raise ConfigurationError(
-            f"unknown backend {backend!r}; known: software, accelerator"
+            f"unknown backend {backend!r}; known: software, "
+            "accelerator, pool, resilient"
         )
     if isinstance(backend, DistanceBackend):
         return backend

@@ -16,6 +16,10 @@ Commands
 ``faults``    fault-injection campaign: inject → BIST → repair →
               re-serve, reporting detection/repair rates and the
               served-accuracy curve
+``chaos``     resilience chaos harness: seeded failure scenarios
+              (shard death, drift storm, saturation, cache storm,
+              flapping) gated on availability / latency / accuracy
+              SLOs — exits non-zero on any violation
 ``check``     static electrical rule checks (netlists, block graphs,
               PE configurations) — exits non-zero on any error
 """
@@ -189,6 +193,44 @@ def _add_faults(sub: argparse._SubParsersAction) -> None:
     )
 
 
+def _add_chaos(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded chaos scenarios through the resilient serving "
+            "stack, gated on availability/latency/accuracy SLOs"
+        ),
+    )
+    p.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=[
+            "shard_death",
+            "drift_storm",
+            "queue_saturation",
+            "cache_storm",
+            "flapping_shard",
+        ],
+        help="which scenarios to run (default: all five)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the small CI preset (fewer queries per scenario)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to this file",
+    )
+
+
 def _add_check(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser(
         "check",
@@ -228,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_serving(sub)
     _add_bench(sub)
     _add_faults(sub)
+    _add_chaos(sub)
     _add_check(sub)
     return parser
 
@@ -460,6 +503,26 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .serving.chaos import run_chaos
+
+    report = run_chaos(
+        scenarios=args.scenarios, seed=args.seed, smoke=args.smoke
+    )
+    if args.out:
+        Path(args.out).write_text(report.to_json(indent=2))
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.table())
+    if not report.ok:
+        print("chaos FAILED: SLO violations", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "compute": _cmd_compute,
     "fig5": _cmd_fig5,
@@ -471,6 +534,7 @@ _COMMANDS = {
     "serve-bench": _cmd_serve_bench,
     "bench": _cmd_bench,
     "faults": _cmd_faults,
+    "chaos": _cmd_chaos,
     "check": _cmd_check,
 }
 

@@ -78,6 +78,30 @@ class ShardUnhealthyError(ReproError, RuntimeError):
     """
 
 
+class CircuitOpenError(ShardUnhealthyError):
+    """Every placeable shard sits behind an open circuit breaker.
+
+    A subclass of :class:`ShardUnhealthyError` because callers that
+    already handle "nothing can serve me" handle this too — but it is
+    a *transient* condition, not a condemnation: a breaker opens to
+    rate-limit re-admission of a flapping shard and will half-open
+    again once its virtual-time cooldown elapses.  Retrying later (or
+    degrading to the digital fallback) is the correct reaction, where
+    a plain :class:`ShardUnhealthyError` means repair-or-replace.
+    """
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's virtual-time deadline passed before it completed.
+
+    Raised by the serving layer (e.g. :class:`repro.serving.
+    PoolBackend`) when a request carries a deadline and the pool's
+    virtual clock passes it — whether the request expired in a queue,
+    in a batching window, or finished its settle too late.  Subclasses
+    :class:`TimeoutError` so generic timeout handling catches it.
+    """
+
+
 class CapacityError(ConfigurationError):
     """A workload does not fit the accelerator without tiling disabled."""
 

@@ -21,6 +21,7 @@ from .metrics import (
     Gauge,
     LatencyHistogram,
     MetricsRegistry,
+    StateGauge,
 )
 from .pool import (
     AcceleratorPool,
@@ -30,11 +31,30 @@ from .pool import (
     PoolResponse,
     serial_loop_time,
 )
+from .resilience import (
+    BreakerConfig,
+    CircuitBreaker,
+    ResilientBackend,
+    RetryPolicy,
+)
+
+# Imported last: chaos pulls in repro.faults, whose campaign module
+# imports the pool symbols above from this (then-partial) package.
+from .chaos import (
+    SCENARIOS,
+    ChaosReport,
+    ScenarioResult,
+    SloSpec,
+    run_chaos,
+)
 
 __all__ = [
     "AcceleratorPool",
     "BenchQuery",
     "BenchReport",
+    "BreakerConfig",
+    "ChaosReport",
+    "CircuitBreaker",
     "Counter",
     "DynamicBatcher",
     "Gauge",
@@ -44,9 +64,16 @@ __all__ = [
     "PoolConfig",
     "PoolRequest",
     "PoolResponse",
+    "ResilientBackend",
     "ResultCache",
+    "RetryPolicy",
+    "SCENARIOS",
+    "ScenarioResult",
+    "SloSpec",
+    "StateGauge",
     "generate_queries",
     "quantise_key",
+    "run_chaos",
     "run_serve_bench",
     "serial_loop_time",
 ]

@@ -22,6 +22,9 @@ from ..errors import ConfigurationError
 class _Bucket:
     items: List[object]
     opened_s: float
+    #: Earliest member-imposed flush instant (deadline propagation);
+    #: +inf when no member carries one.
+    flush_by_s: float = float("inf")
 
 
 class DynamicBatcher:
@@ -43,25 +46,45 @@ class DynamicBatcher:
         self._buckets: Dict[Hashable, _Bucket] = {}
 
     def add(
-        self, key: Hashable, item, now: float
+        self,
+        key: Hashable,
+        item,
+        now: float,
+        flush_by: Optional[float] = None,
     ) -> Optional[List]:
-        """Queue ``item``; return a full batch if this add filled one."""
+        """Queue ``item``; return a full batch if this add filled one.
+
+        ``flush_by`` is a member-imposed flush instant — typically a
+        request deadline minus its estimated service time.  The
+        bucket becomes due at the *earliest* of its window expiry and
+        the tightest member ``flush_by``, so a deadlined request
+        never idles in a coalescing window past the point where it
+        could still be answered in time.
+        """
         bucket = self._buckets.get(key)
         if bucket is None:
             bucket = _Bucket(items=[], opened_s=now)
             self._buckets[key] = bucket
         bucket.items.append(item)
+        if flush_by is not None:
+            bucket.flush_by_s = min(bucket.flush_by_s, flush_by)
         if len(bucket.items) >= self.max_batch:
             del self._buckets[key]
             return bucket.items
         return None
 
+    def _expiry_s(self, bucket: _Bucket) -> float:
+        return min(
+            bucket.opened_s + self.window_s, bucket.flush_by_s
+        )
+
     def due(self, now: float) -> List[Tuple[Hashable, List]]:
-        """Pop every bucket whose window has expired at ``now``."""
+        """Pop every bucket whose window (or member deadline) has
+        expired at ``now``."""
         ready = [
             key
             for key, bucket in self._buckets.items()
-            if now - bucket.opened_s >= self.window_s
+            if now >= self._expiry_s(bucket)
         ]
         return [(key, self._buckets.pop(key).items) for key in ready]
 
@@ -86,7 +109,26 @@ class DynamicBatcher:
         """Earliest instant a bucket becomes due, if any are open."""
         if not self._buckets:
             return None
-        return (
-            min(b.opened_s for b in self._buckets.values())
-            + self.window_s
+        return min(
+            self._expiry_s(b) for b in self._buckets.values()
         )
+
+    def dispatch_time(
+        self, items: List, first_arrival_s: float
+    ) -> float:
+        """Modelled dispatch instant of a flushed batch.
+
+        The expiry the bucket *would* have had: window end, tightened
+        by any member flush-by instant.  Used by the pool to start
+        the settle no later than the batch actually became due.
+        """
+        flush_by = min(
+            (
+                fb
+                for item in items
+                if (fb := getattr(item, "flush_by_s", None))
+                is not None
+            ),
+            default=float("inf"),
+        )
+        return min(first_arrival_s + self.window_s, flush_by)

@@ -41,6 +41,22 @@ class Gauge:
         self.value = float(value)
 
 
+@dataclasses.dataclass
+class StateGauge:
+    """A sampled categorical value (e.g. a breaker's closed/open).
+
+    Numeric gauges encode states poorly (dashboards end up decoding
+    0/1/2 by convention); this keeps the label itself, exported under
+    the snapshot's ``states`` section.
+    """
+
+    name: str
+    value: str = ""
+
+    def set(self, value: str) -> None:
+        self.value = str(value)
+
+
 class LatencyHistogram:
     """Log-bucketed histogram over positive measurements.
 
@@ -126,6 +142,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._states: Dict[str, StateGauge] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -137,6 +154,11 @@ class MetricsRegistry:
         if name not in self._gauges:
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
+
+    def state(self, name: str) -> StateGauge:
+        if name not in self._states:
+            self._states[name] = StateGauge(name)
+        return self._states[name]
 
     def histogram(self, name: str, **kwargs: Any) -> LatencyHistogram:
         if name not in self._histograms:
@@ -155,6 +177,10 @@ class MetricsRegistry:
             "gauges": {
                 name: self._gauges[name].value
                 for name in sorted(self._gauges)
+            },
+            "states": {
+                name: self._states[name].value
+                for name in sorted(self._states)
             },
             "histograms": {
                 name: self._histograms[name].as_dict()

@@ -18,13 +18,24 @@ submit/drain interface, with
 * **online BIST & failover** — shards are periodically probed with
   golden vectors (:mod:`repro.faults.bist`); a shard whose measured
   error exceeds the health thresholds is quarantined, its in-flight
-  batch re-admitted to healthy shards (bounded retries), the result
-  cache dropped (it may hold faulted values), and — when auto-repair
-  is on — the chip is recalibrated (:mod:`repro.faults.repair`) and
-  requalified before it serves again;
+  batch re-admitted to healthy shards (rerouted through the retry
+  policy), the result cache dropped (it may hold faulted values),
+  and — when auto-repair is on — the chip is recalibrated
+  (:mod:`repro.faults.repair`) and requalified before it serves
+  again;
+* **resilience** (:mod:`repro.serving.resilience`) — per-request
+  virtual-time **deadlines** that propagate into batching windows and
+  fail fast instead of settling doomed work; per-shard **circuit
+  breakers** that rate-limit re-admission of flapping shards;
+  optional **hedged requests** that race a second shard once the
+  queue wait crosses a latency percentile and cancel the loser; and a
+  seeded **retry policy** giving shed or quarantine-displaced
+  requests exponential-backoff re-arrival times instead of hammering
+  the same congested instant;
 * **metrics** — counters, latency histograms and per-shard utilisation
   exported as dict/JSON (including the ``faults_*`` reliability
-  counters).
+  counters, ``deadline_exceeded``, ``degraded_requests``, hedging
+  counters and per-shard breaker states).
 
 Scheduling runs in *virtual time*: every request carries an arrival
 timestamp, service durations come from the accelerator's calibrated
@@ -47,13 +58,16 @@ from ..accelerator.power import accelerator_power
 from ..baselines.literature import CALIBRATED_OURS_PER_ELEMENT_S
 from ..errors import (
     CapacityError,
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineExceededError,
     ShardUnhealthyError,
 )
 from ..validation import as_sequence, require_same_length
 from .batcher import DynamicBatcher
 from .cache import ResultCache
 from .metrics import MetricsRegistry
+from .resilience import BreakerConfig, CircuitBreaker, RetryPolicy
 
 
 @dataclasses.dataclass(frozen=True)
@@ -93,7 +107,31 @@ class PoolConfig:
         quarantined.
     fault_max_retries:
         Times one in-flight request may be re-admitted to another
-        shard after its shard is quarantined, before it is shed.
+        shard *immediately* after its shard is quarantined.  Past
+        that, re-admission is delayed through ``retry`` backoff — a
+        request is only shed outright when no healthy shard exists.
+    default_deadline_s:
+        Optional per-request completion budget, in virtual seconds
+        from arrival, applied when :meth:`AcceleratorPool.submit` is
+        not given an explicit ``deadline_s`` (``None`` leaves
+        requests deadline-free).
+    retry:
+        :class:`~repro.serving.resilience.RetryPolicy` spacing the
+        re-arrival of quarantine-displaced requests.
+    breaker:
+        :class:`~repro.serving.resilience.BreakerConfig` applied to
+        every shard's circuit breaker.  The default reproduces the
+        pre-breaker behaviour (requalification re-admits at once);
+        raise ``cooldown_s`` to rate-limit flapping shards.
+    enable_hedging:
+        Race a second shard when a request's projected queue wait
+        exceeds the ``hedge_percentile`` of observed latency, taking
+        the earlier projected finish and cancelling the loser before
+        it settles.
+    hedge_percentile, hedge_min_samples:
+        The trigger percentile, and the minimum latency-histogram
+        population before hedging activates (percentiles of a nearly
+        empty histogram are noise).
     """
 
     queue_depth: int = 64
@@ -110,6 +148,14 @@ class PoolConfig:
     bist_failed_threshold: float = 0.10
     auto_repair: bool = True
     fault_max_retries: int = 3
+    default_deadline_s: Optional[float] = None
+    retry: RetryPolicy = dataclasses.field(default_factory=RetryPolicy)
+    breaker: BreakerConfig = dataclasses.field(
+        default_factory=BreakerConfig
+    )
+    enable_hedging: bool = False
+    hedge_percentile: float = 95.0
+    hedge_min_samples: int = 32
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -137,11 +183,31 @@ class PoolConfig:
             raise ConfigurationError(
                 "fault_max_retries must be >= 0"
             )
+        if (
+            self.default_deadline_s is not None
+            and self.default_deadline_s <= 0
+        ):
+            raise ConfigurationError(
+                "default_deadline_s must be > 0"
+            )
+        if not 50.0 <= self.hedge_percentile <= 100.0:
+            raise ConfigurationError(
+                "hedge_percentile must be in [50, 100]"
+            )
+        if self.hedge_min_samples < 1:
+            raise ConfigurationError(
+                "hedge_min_samples must be >= 1"
+            )
 
 
 @dataclasses.dataclass
 class PoolRequest:
-    """One queued distance query."""
+    """One queued distance query.
+
+    ``deadline_s`` is an absolute virtual-time completion deadline
+    (``None`` = unbounded); the pool fails requests fast once it is
+    unreachable rather than settling doomed work.
+    """
 
     id: int
     function: str
@@ -150,15 +216,21 @@ class PoolRequest:
     arrival_s: float
     weights: Optional[np.ndarray] = None
     kwargs: Dict = dataclasses.field(default_factory=dict)
+    deadline_s: Optional[float] = None
+    #: Batching hint derived from the deadline: latest instant this
+    #: request's bucket may flush and still finish in time.
+    flush_by_s: Optional[float] = None
 
 
 @dataclasses.dataclass
 class PoolResponse:
     """Outcome of one request.
 
-    ``status`` is ``"ok"`` or ``"shed"`` (rejected by admission
-    control; ``value`` is ``None``).  Cached responses complete at
-    their arrival instant.
+    ``status`` is ``"ok"``, ``"shed"`` (rejected by admission
+    control) or ``"deadline"`` (virtual-time deadline passed before a
+    value could be delivered); ``value`` is ``None`` unless ``"ok"``.
+    Cached responses complete at their arrival instant.  ``hedged``
+    marks responses whose placement raced two shards.
     """
 
     request_id: int
@@ -172,6 +244,7 @@ class PoolResponse:
     cached: bool = False
     batched: bool = False
     batch_size: int = 1
+    hedged: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -202,6 +275,7 @@ class _Shard:
         self.batches = 0
         self.health = "healthy"
         self.quarantined = False
+        self.breaker = CircuitBreaker(config.breaker)
         self.last_bist_s: Optional[float] = None
         self._unfinished: List[float] = []
 
@@ -229,13 +303,14 @@ class AcceleratorPool:
         if n_shards < 1:
             raise ConfigurationError("need at least one shard")
         self.config = config if config is not None else PoolConfig()
-        factory = (
+        self._factory = (
             accelerator_factory
             if accelerator_factory is not None
             else DistanceAccelerator
         )
         self.shards = [
-            _Shard(i, factory(), self.config) for i in range(n_shards)
+            _Shard(i, self._factory(), self.config)
+            for i in range(n_shards)
         ]
         # Startup ERC: a shard that passes construction may still have
         # been built by a custom factory with validation disabled, or
@@ -268,6 +343,7 @@ class AcceleratorPool:
         self._bist_runner = None
         self._last_bist_s = 0.0
         self._retries: Dict[int, int] = {}
+        self._retry_rng = self.config.retry.rng()
         self.last_reports: Dict[int, object] = {}
         self.last_repairs: Dict[int, object] = {}
         # Reliability counters exist (at zero) from the first
@@ -280,6 +356,12 @@ class AcceleratorPool:
             "faults_retried",
             "faults_repaired_sites",
             "faults_dead_sites",
+            "retry_backoffs",
+            "deadline_exceeded",
+            "degraded_requests",
+            "hedges",
+            "hedges_won",
+            "shards_replaced",
         ):
             self.metrics.counter(name)
 
@@ -291,12 +373,16 @@ class AcceleratorPool:
         q,
         weights=None,
         arrival_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
         **kwargs,
     ) -> int:
         """Queue one query; returns its request id.
 
         ``arrival_s`` defaults to the pool's current virtual time, so
-        offline callers can ignore timestamps entirely.
+        offline callers can ignore timestamps entirely.  ``deadline_s``
+        is an *absolute* virtual instant by which the answer must be
+        ready; omitted, it falls back to arrival plus the pool's
+        ``default_deadline_s`` budget (when configured).
         """
         config = get_config(function)
         p_arr = as_sequence(p, "p")
@@ -310,6 +396,12 @@ class AcceleratorPool:
         )
         if arrival < 0:
             raise ConfigurationError("arrival time must be >= 0")
+        if deadline_s is not None:
+            deadline: Optional[float] = float(deadline_s)
+        elif self.config.default_deadline_s is not None:
+            deadline = arrival + self.config.default_deadline_s
+        else:
+            deadline = None
         request = PoolRequest(
             id=self._next_id,
             function=config.name,
@@ -322,6 +414,7 @@ class AcceleratorPool:
                 else np.asarray(weights, dtype=np.float64)
             ),
             kwargs=dict(kwargs),
+            deadline_s=deadline,
         )
         self._next_id += 1
         self._pending.append(request)
@@ -379,32 +472,102 @@ class AcceleratorPool:
             return
 
         shard = self._pick_shard(request)
-        if shard.depth_at(request.arrival_s) >= self.config.queue_depth:
-            self.metrics.counter("shed").inc()
-            self._respond(
-                request,
-                PoolResponse(
-                    request_id=request.id,
-                    function=request.function,
-                    status="shed",
-                    value=None,
-                    arrival_s=request.arrival_s,
-                    start_s=request.arrival_s,
-                    finish_s=request.arrival_s,
-                    shard=shard.index,
-                ),
+        # Deadline fail-fast: when even the optimistic single-settle
+        # estimate cannot land before the deadline, expire now instead
+        # of burning a settle on a doomed request.
+        if request.deadline_s is not None:
+            earliest = (
+                max(request.arrival_s, shard.busy_until)
+                + self._estimate_service(shard, request)
             )
+            if (
+                request.deadline_s < request.arrival_s
+                or earliest > request.deadline_s
+            ):
+                self._expire(request, shard=shard)
+                return
+        if shard.depth_at(request.arrival_s) >= self.config.queue_depth:
+            self._shed(request, shard=shard)
             return
 
+        shard.breaker.acquire_probe(request.arrival_s)
         if self._batchable(request, shard):
             batch_key = self._batch_key(request)
+            flush_by = None
+            if request.deadline_s is not None:
+                flush_by = request.deadline_s - self._estimate_service(
+                    shard, request
+                )
+                request.flush_by_s = flush_by
             full = shard.batcher.add(
-                batch_key, request, request.arrival_s
+                batch_key,
+                request,
+                request.arrival_s,
+                flush_by=flush_by,
             )
             if full is not None:
                 self._execute_batch(shard, full, request.arrival_s)
         else:
             self._execute_single(shard, request)
+
+    def _shed(
+        self, request: PoolRequest, shard: Optional[_Shard] = None
+    ) -> None:
+        self.metrics.counter("shed").inc()
+        self._respond(
+            request,
+            PoolResponse(
+                request_id=request.id,
+                function=request.function,
+                status="shed",
+                value=None,
+                arrival_s=request.arrival_s,
+                start_s=request.arrival_s,
+                finish_s=request.arrival_s,
+                shard=None if shard is None else shard.index,
+            ),
+        )
+
+    def _expire(
+        self,
+        request: PoolRequest,
+        shard: Optional[_Shard] = None,
+        start_s: Optional[float] = None,
+        finish_s: Optional[float] = None,
+    ) -> None:
+        """Answer ``request`` with status ``"deadline"``."""
+        self.metrics.counter("deadline_exceeded").inc()
+        self._respond(
+            request,
+            PoolResponse(
+                request_id=request.id,
+                function=request.function,
+                status="deadline",
+                value=None,
+                arrival_s=request.arrival_s,
+                start_s=(
+                    request.arrival_s if start_s is None else start_s
+                ),
+                finish_s=(
+                    request.arrival_s
+                    if finish_s is None
+                    else finish_s
+                ),
+                shard=None if shard is None else shard.index,
+            ),
+        )
+
+    def _estimate_service(
+        self, shard: _Shard, request: PoolRequest
+    ) -> float:
+        """Cheap calibrated estimate of one single-query service."""
+        n = int(max(request.p.shape[0], request.q.shape[0]))
+        acc = shard.accelerator
+        return (
+            CALIBRATED_OURS_PER_ELEMENT_S[request.function] * n
+            + acc.dac.load_time(request.p.size + request.q.size)
+            + acc.adc.read_time(1)
+        )
 
     def _batchable(self, request: PoolRequest, shard: _Shard) -> bool:
         if not self.config.enable_batching:
@@ -436,6 +599,14 @@ class AcceleratorPool:
     def _active_shards(self) -> List[_Shard]:
         return [s for s in self.shards if not s.quarantined]
 
+    def _placeable_shards(self, now: float) -> List[_Shard]:
+        """Active shards whose breaker admits a request at ``now``."""
+        return [
+            s
+            for s in self._active_shards()
+            if s.breaker.available(now)
+        ]
+
     def _pick_shard(self, request: PoolRequest) -> _Shard:
         """Least-loaded healthy shard; function affinity breaks ties."""
         active = self._active_shards()
@@ -444,6 +615,19 @@ class AcceleratorPool:
                 f"all {len(self.shards)} shards are quarantined; "
                 f"request {request.id} ({request.function}) cannot "
                 "be served — repair or replace the pool"
+            )
+        placeable = [
+            s
+            for s in active
+            if s.breaker.available(request.arrival_s)
+        ]
+        if not placeable:
+            raise CircuitOpenError(
+                f"all {len(active)} active shards sit behind open "
+                f"circuit breakers at t={request.arrival_s:.3g}s; "
+                f"request {request.id} ({request.function}) must "
+                "wait out the cooldown or degrade to the digital "
+                "fallback"
             )
         batch_key = self._batch_key(request)
 
@@ -463,23 +647,23 @@ class AcceleratorPool:
                 shard.index,
             )
 
-        return min(active, key=score)
+        return min(placeable, key=score)
 
     def _flush_due(self, now: float) -> None:
         for shard in self.shards:
             for _, items in shard.batcher.due(now):
-                deadline = (
-                    items[0].arrival_s + shard.batcher.window_s
+                dispatch = shard.batcher.dispatch_time(
+                    items, items[0].arrival_s
                 )
-                self._execute_batch(shard, items, deadline)
+                self._execute_batch(shard, items, dispatch)
 
     def _flush_remaining(self) -> None:
         for shard in self.shards:
             for _, items in shard.batcher.flush():
-                deadline = (
-                    items[0].arrival_s + shard.batcher.window_s
+                dispatch = shard.batcher.dispatch_time(
+                    items, items[0].arrival_s
                 )
-                self._execute_batch(shard, items, deadline)
+                self._execute_batch(shard, items, dispatch)
 
     # -- reliability ---------------------------------------------------------
     def inject_faults(self, injector, indices=None) -> Dict[int, object]:
@@ -549,17 +733,18 @@ class AcceleratorPool:
             reports[shard.index] = report
             self.last_reports[shard.index] = report
             if report.is_healthy:
+                shard.breaker.on_success(now)
                 continue
             self.metrics.counter("faults_bist_detections").inc()
-            self._quarantine(shard)
+            self._quarantine(shard, now)
             if not self.config.auto_repair:
                 continue
             if shard.accelerator.fault_state is None:
                 continue
-            self._repair(shard, runner)
+            self._repair(shard, runner, now)
         return reports
 
-    def _repair(self, shard: _Shard, runner) -> None:
+    def _repair(self, shard: _Shard, runner, now: float) -> None:
         """Recalibrate one quarantined shard and requalify it."""
         from ..faults.bist import FAILED
         from ..faults.repair import recalibrate
@@ -578,20 +763,33 @@ class AcceleratorPool:
         self.last_reports[shard.index] = verdict
         if verdict.status != FAILED:
             shard.quarantined = False
+            # The requalification verdict is the breaker's half-open
+            # probe.  With the default zero cooldown this closes the
+            # breaker at once (PR-3 behaviour); with a configured
+            # cooldown the shard stays gated until it expires — the
+            # flapping rate limit.
+            shard.breaker.on_success(now)
             self.metrics.counter("faults_requalified").inc()
 
-    def _quarantine(self, shard: _Shard) -> None:
+    def _quarantine(
+        self, shard: _Shard, now: Optional[float] = None
+    ) -> None:
         """Pull one shard out of service and drain its batcher.
 
-        In-flight requests are re-admitted to healthy shards up to
-        ``fault_max_retries`` times each; past that (or with no
-        healthy shard left) they are shed.  The result cache is
-        dropped wholesale — it may hold values the faulted chip
-        produced.
+        In-flight requests are re-admitted to other shards: the first
+        ``fault_max_retries`` displacements of one request re-arrive
+        immediately; later ones re-arrive after the pool's seeded
+        ``retry`` backoff (so a flapping shard cannot make its
+        displaced work hammer one congested instant).  A request is
+        shed only when no active shard remains or the backoff budget
+        is exhausted too.  The result cache is dropped wholesale — it
+        may hold values the faulted chip produced.
         """
         if shard.quarantined:
             return
+        now = self._virtual_now if now is None else float(now)
         shard.quarantined = True
+        shard.breaker.trip(now)
         self.metrics.counter("faults_quarantined").inc()
         self.cache.clear()
         pending = [
@@ -599,30 +797,64 @@ class AcceleratorPool:
             for _, items in shard.batcher.flush()
             for request in items
         ]
+        policy = self.config.retry
         for request in pending:
             retries = self._retries.get(request.id, 0)
-            if (
-                retries >= self.config.fault_max_retries
-                or not self._active_shards()
+            backoff_attempt = retries - self.config.fault_max_retries
+            if not self._active_shards() or (
+                backoff_attempt >= policy.max_retries
             ):
-                self.metrics.counter("shed").inc()
-                self._respond(
-                    request,
-                    PoolResponse(
-                        request_id=request.id,
-                        function=request.function,
-                        status="shed",
-                        value=None,
-                        arrival_s=request.arrival_s,
-                        start_s=request.arrival_s,
-                        finish_s=request.arrival_s,
-                        shard=shard.index,
-                    ),
-                )
+                self._shed(request, shard=shard)
                 continue
             self._retries[request.id] = retries + 1
             self.metrics.counter("faults_retried").inc()
-            self._admit(request)
+            if backoff_attempt >= 0:
+                # Immediate-retry budget spent: delay the re-arrival.
+                delay = policy.backoff_s(
+                    backoff_attempt, self._retry_rng
+                )
+                request.arrival_s = max(request.arrival_s, now) + delay
+                self.metrics.counter("retry_backoffs").inc()
+            try:
+                self._admit(request)
+            except ShardUnhealthyError:
+                self._shed(request, shard=shard)
+
+    def replace_shard(
+        self,
+        index: int,
+        accelerator: Optional[DistanceAccelerator] = None,
+    ) -> _Shard:
+        """Swap a fresh chip into one shard slot (hardware failover).
+
+        Models the operator action a FAILED verdict calls for: the
+        condemned chip comes out, a factory-fresh one (or the given
+        ``accelerator``) goes in, and the slot re-enters rotation.
+        The slot's circuit breaker deliberately survives replacement —
+        a slot that keeps condemning chips points at the slot (socket,
+        board, cooling), so its grown cooldown keeps rate-limiting
+        re-admission until probes prove the new chip out.
+        """
+        from ..check import check_accelerator
+
+        shard = self.shards[index]
+        chip = (
+            accelerator
+            if accelerator is not None
+            else self._factory()
+        )
+        check_accelerator(chip).raise_if_errors(
+            f"AcceleratorPool.replace_shard (shard {index})"
+        )
+        shard.accelerator = chip
+        shard.health = "healthy"
+        shard.quarantined = False
+        shard.current_function = None
+        # Values and settle probes from the old chip are stale.
+        self.cache.clear()
+        self._settle_cache.clear()
+        self.metrics.counter("shards_replaced").inc()
+        return shard
 
     # -- execution -----------------------------------------------------------
     def _reconfigure(self, shard: _Shard, function: str) -> float:
@@ -687,9 +919,53 @@ class AcceleratorPool:
             self._row_busy_s += service_s
         return finish
 
+    def _maybe_hedge(
+        self, shard: _Shard, request: PoolRequest
+    ) -> Tuple[_Shard, bool]:
+        """Race a second shard when the queue wait looks pathological.
+
+        The race is analytic: both shards' projected start instants
+        are known exactly in virtual time, so the pool places the
+        settle on the winner and "cancels" the loser before it does
+        any work (no energy, no busy time) — the modelled equivalent
+        of a hedged RPC whose losing leg is torn down on first byte.
+        """
+        if not self.config.enable_hedging:
+            return shard, False
+        hist = self.metrics.histogram("latency")
+        if hist.count < self.config.hedge_min_samples:
+            return shard, False
+        threshold = hist.percentile(self.config.hedge_percentile)
+        projected = (
+            max(request.arrival_s, shard.busy_until)
+            - request.arrival_s
+            + self._estimate_service(shard, request)
+        )
+        if projected <= threshold:
+            return shard, False
+        self.metrics.counter("hedges").inc()
+        rivals = [
+            s
+            for s in self._placeable_shards(request.arrival_s)
+            if s.index != shard.index
+            and s.depth_at(request.arrival_s)
+            < self.config.queue_depth
+        ]
+        if not rivals:
+            return shard, True
+        rival = min(
+            rivals, key=lambda s: (s.busy_until, s.index)
+        )
+        if rival.busy_until < shard.busy_until:
+            self.metrics.counter("hedges_won").inc()
+            rival.breaker.acquire_probe(request.arrival_s)
+            return rival, True
+        return shard, True
+
     def _execute_single(
         self, shard: _Shard, request: PoolRequest
     ) -> None:
+        shard, hedged = self._maybe_hedge(shard, request)
         start = max(request.arrival_s, shard.busy_until)
         reconfig = self._reconfigure(shard, request.function)
         acc = shard.accelerator
@@ -712,6 +988,20 @@ class AcceleratorPool:
             shard, request.function, start, service, 1
         )
         self.cache.put(self._cache_key(request), result.value)
+        latency = finish - request.arrival_s
+        slo = self.config.breaker.latency_slo_s
+        if result.overflow or (slo is not None and latency > slo):
+            shard.breaker.on_failure(finish)
+        else:
+            shard.breaker.on_success(finish)
+        if (
+            request.deadline_s is not None
+            and finish > request.deadline_s
+        ):
+            self._expire(
+                request, shard=shard, start_s=start, finish_s=finish
+            )
+            return
         self._respond(
             request,
             PoolResponse(
@@ -723,6 +1013,7 @@ class AcceleratorPool:
                 start_s=start,
                 finish_s=finish,
                 shard=shard.index,
+                hedged=hedged,
             ),
         )
 
@@ -769,8 +1060,27 @@ class AcceleratorPool:
         self.metrics.histogram(
             "batch_size", low=1.0, high=512.0, n_buckets=32
         ).record(len(requests))
+        slo = self.config.breaker.latency_slo_s
+        worst_latency = finish - min(r.arrival_s for r in requests)
+        if result.overflow or (
+            slo is not None and worst_latency > slo
+        ):
+            shard.breaker.on_failure(finish)
+        else:
+            shard.breaker.on_success(finish)
         for request, value in zip(requests, result.values):
             self.cache.put(self._cache_key(request), float(value))
+            if (
+                request.deadline_s is not None
+                and finish > request.deadline_s
+            ):
+                self._expire(
+                    request,
+                    shard=shard,
+                    start_s=start,
+                    finish_s=finish,
+                )
+                continue
             self._respond(
                 request,
                 PoolResponse(
@@ -826,6 +1136,7 @@ class AcceleratorPool:
 
     def snapshot(self) -> Dict:
         """Full metrics export (counters, histograms, shards, cache)."""
+        now = self._virtual_now
         for shard, utilisation in zip(
             self.shards, self.utilisations()
         ):
@@ -833,6 +1144,9 @@ class AcceleratorPool:
                 f"shard{shard.index}.utilisation"
             )
             gauge.set(utilisation)
+            self.metrics.state(f"shard{shard.index}.breaker").set(
+                shard.breaker.state(now)
+            )
         self.metrics.gauge("faults_healthy_shards").set(
             len(self._active_shards())
         )
@@ -846,6 +1160,7 @@ class AcceleratorPool:
                 "current_function": shard.current_function,
                 "health": shard.health,
                 "quarantined": shard.quarantined,
+                "breaker": shard.breaker.snapshot(now),
                 "last_bist_s": shard.last_bist_s,
                 "faults": (
                     shard.accelerator.fault_state.summary()
@@ -907,24 +1222,74 @@ class PoolBackend:
     Lets the mining layer route template-bank searches through the
     pool: a ``batch`` call submits one request per candidate, and the
     dynamic batcher coalesces them into row settles.  Requests shed by
-    admission control are retried after the queue drains.
+    admission control are re-submitted with seeded exponential-backoff
+    re-arrival times (``retry_policy``); a request whose deadline
+    passes raises :class:`~repro.errors.DeadlineExceededError`.
+
+    ``pacing_s`` spaces the virtual arrivals of a multi-request call
+    (0 submits everything at one instant, the legacy behaviour);
+    ``deadline_s`` attaches a per-request completion budget, measured
+    from each request's own arrival.
     """
 
     name = "pool"
 
     def __init__(
-        self, pool: Optional[AcceleratorPool] = None, max_retries: int = 32
+        self,
+        pool: Optional[AcceleratorPool] = None,
+        max_retries: int = 32,
+        retry_policy: Optional[RetryPolicy] = None,
+        pacing_s: float = 0.0,
+        deadline_s: Optional[float] = None,
     ) -> None:
         self.pool = pool if pool is not None else AcceleratorPool()
         if max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
-        self.max_retries = max_retries
+        if pacing_s < 0:
+            raise ConfigurationError("pacing_s must be >= 0")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be > 0")
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else dataclasses.replace(
+                self.pool.config.retry, max_retries=max_retries
+            )
+        )
+        self.max_retries = self.retry_policy.max_retries
+        self.pacing_s = float(pacing_s)
+        self.deadline_s = deadline_s
+        self._rng = self.retry_policy.rng()
+
+    def _submit(
+        self, function, p, q, weights, kwargs, arrival_s: float
+    ) -> int:
+        deadline = (
+            None
+            if self.deadline_s is None
+            else arrival_s + self.deadline_s
+        )
+        return self.pool.submit(
+            function,
+            p,
+            q,
+            weights=weights,
+            arrival_s=arrival_s,
+            deadline_s=deadline,
+            **kwargs,
+        )
 
     def _resolve(self, submitted: List[Tuple[int, Tuple]]) -> np.ndarray:
-        """Drain; retry shed requests until all values materialise."""
+        """Drain; retry shed requests until all values materialise.
+
+        Each retry round re-submits the shed requests with a fresh
+        backoff-delayed arrival, so they land after the congestion
+        that shed them has drained rather than at the same instant.
+        """
         values: Dict[int, float] = {}
         pending = dict(submitted)
-        for _ in range(self.max_retries + 1):
+        policy = self.retry_policy
+        for attempt in range(policy.max_retries + 1):
             responses = self.pool.drain()
             shed: Dict[int, Tuple] = {}
             for response in responses:
@@ -933,14 +1298,29 @@ class PoolBackend:
                 slot = pending.pop(response.request_id)
                 if response.status == "ok":
                     values[slot[0]] = response.value
+                elif response.status == "deadline":
+                    raise DeadlineExceededError(
+                        f"request {response.request_id} "
+                        f"({response.function}) missed its "
+                        "virtual-time deadline "
+                        f"(arrival {response.arrival_s:.3g}s)"
+                    )
                 else:
                     shed[slot[0]] = slot[1]
             if not shed and not pending:
                 break
             for slot, args in shed.items():
                 function, p, q, weights, kwargs = args
-                rid = self.pool.submit(
-                    function, p, q, weights=weights, **kwargs
+                delay = policy.backoff_s(
+                    min(attempt, policy.max_retries), self._rng
+                )
+                rid = self._submit(
+                    function,
+                    p,
+                    q,
+                    weights,
+                    kwargs,
+                    arrival_s=self.pool.virtual_now + delay,
                 )
                 pending[rid] = (slot, args)
         if pending:
@@ -955,8 +1335,8 @@ class PoolBackend:
     def compute(
         self, function: str, p, q, *, weights=None, **kwargs
     ) -> float:
-        rid = self.pool.submit(
-            function, p, q, weights=weights, **kwargs
+        rid = self._submit(
+            function, p, q, weights, kwargs, self.pool.virtual_now
         )
         args = (function, p, q, weights, kwargs)
         return float(self._resolve([(rid, (0, args))])[0])
@@ -971,9 +1351,15 @@ class PoolBackend:
         **kwargs,
     ) -> np.ndarray:
         submitted = []
+        base = self.pool.virtual_now
         for index, candidate in enumerate(candidates):
-            rid = self.pool.submit(
-                function, query, candidate, weights=weights, **kwargs
+            rid = self._submit(
+                function,
+                query,
+                candidate,
+                weights,
+                kwargs,
+                arrival_s=base + index * self.pacing_s,
             )
             args = (function, query, candidate, weights, kwargs)
             submitted.append((rid, (index, args)))
@@ -989,10 +1375,17 @@ class PoolBackend:
         k = len(arrays)
         submitted = []
         slots = []
+        base = self.pool.virtual_now
         for i in range(k):
             for j in range(i + 1, k):
-                rid = self.pool.submit(
-                    function, arrays[i], arrays[j], **kwargs
+                arrival = base + len(slots) * self.pacing_s
+                rid = self._submit(
+                    function,
+                    arrays[i],
+                    arrays[j],
+                    None,
+                    kwargs,
+                    arrival_s=arrival,
                 )
                 args = (function, arrays[i], arrays[j], None, kwargs)
                 submitted.append((rid, (len(slots), args)))

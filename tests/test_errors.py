@@ -5,6 +5,17 @@ import pytest
 from repro import errors
 
 
+def public_errors():
+    """Every exception class exported by :mod:`repro.errors`."""
+    return [
+        obj
+        for name in dir(errors)
+        if isinstance(obj := getattr(errors, name), type)
+        and issubclass(obj, BaseException)
+        and obj.__module__ == errors.__name__
+    ]
+
+
 class TestHierarchy:
     def test_all_derive_from_repro_error(self):
         for name in (
@@ -14,13 +25,26 @@ class TestHierarchy:
             "ConfigurationError",
             "ConvergenceError",
             "NetlistError",
+            "ElectricalRuleError",
             "SingularCircuitError",
             "TuningError",
+            "FaultInjectionError",
+            "ShardUnhealthyError",
+            "CircuitOpenError",
+            "DeadlineExceededError",
             "CapacityError",
             "DatasetError",
         ):
             exc = getattr(errors, name)
             assert issubclass(exc, errors.ReproError), name
+
+    def test_every_public_error_is_catchable_as_repro_error(self):
+        # The module-wide sweep: any exception class added to
+        # repro.errors must slot under ReproError, no exceptions.
+        classes = public_errors()
+        assert errors.ReproError in classes
+        for exc in classes:
+            assert issubclass(exc, errors.ReproError), exc.__name__
 
     def test_value_errors_are_value_errors(self):
         # Callers using plain ValueError/RuntimeError still catch us.
@@ -30,6 +54,8 @@ class TestHierarchy:
         assert issubclass(errors.DatasetError, ValueError)
         assert issubclass(errors.ConvergenceError, RuntimeError)
         assert issubclass(errors.TuningError, RuntimeError)
+        assert issubclass(errors.ShardUnhealthyError, RuntimeError)
+        assert issubclass(errors.DeadlineExceededError, TimeoutError)
 
     def test_specialisations(self):
         assert issubclass(
@@ -39,6 +65,23 @@ class TestHierarchy:
             errors.SingularCircuitError, errors.ConvergenceError
         )
         assert issubclass(errors.CapacityError, errors.ConfigurationError)
+        assert issubclass(
+            errors.ElectricalRuleError, errors.ConfigurationError
+        )
+        assert issubclass(
+            errors.FaultInjectionError, errors.ConfigurationError
+        )
+        assert issubclass(
+            errors.CircuitOpenError, errors.ShardUnhealthyError
+        )
+        # DeadlineExceededError is its own domain: a late answer is
+        # neither a capacity nor a health problem.
+        assert not issubclass(
+            errors.DeadlineExceededError, errors.ShardUnhealthyError
+        )
+        assert not issubclass(
+            errors.DeadlineExceededError, errors.ConfigurationError
+        )
 
     def test_single_catch_covers_library(self):
         from repro.distances import dtw

@@ -297,6 +297,88 @@ class TestRPR005:
         assert findings == []
 
 
+class TestRPR006:
+    CODE = """
+        import time
+
+        def stamp(request):
+            request.arrival_s = time.time()
+        """
+
+    def test_wall_clock_flagged_in_serving(self):
+        findings = lint(
+            self.CODE, path="src/repro/serving/pool.py"
+        )
+        assert fired(findings) == {"RPR006"}
+        assert "virtual-time" in findings[0].message
+
+    def test_monotonic_and_datetime_now_flagged(self):
+        findings = lint(
+            """
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.monotonic(), datetime.now()
+            """,
+            path="src/repro/serving/chaos.py",
+        )
+        assert [f.code for f in findings] == ["RPR006", "RPR006"]
+
+    def test_bare_monotonic_import_flagged(self):
+        findings = lint(
+            """
+            from time import monotonic
+
+            def stamp():
+                return monotonic()
+            """,
+            path="src/repro/serving/resilience.py",
+        )
+        assert fired(findings) == {"RPR006"}
+
+    def test_perf_counter_allowed(self):
+        # The serve bench measures host replay time on purpose.
+        findings = lint(
+            """
+            import time
+
+            def replay():
+                start = time.perf_counter()
+                return time.perf_counter() - start
+            """,
+            path="src/repro/serving/bench.py",
+        )
+        assert findings == []
+
+    def test_virtual_time_helpers_not_flagged(self):
+        findings = lint(
+            """
+            def dispatch(shard, items):
+                return shard.batcher.dispatch_time(
+                    items, items[0].arrival_s
+                )
+            """,
+            path="src/repro/serving/pool.py",
+        )
+        assert findings == []
+
+    def test_non_serving_module_exempt(self):
+        findings = lint(self.CODE, path="src/repro/baselines/cpu.py")
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = lint(
+            """
+            import time
+
+            now = time.time()  # noqa: RPR006
+            """,
+            path="src/repro/serving/pool.py",
+        )
+        assert findings == []
+
+
 class TestHarness:
     def test_noqa_suppression(self):
         findings = lint(
@@ -350,5 +432,5 @@ class TestHarness:
 
     def test_all_rules_registry(self):
         assert ALL_RULES == (
-            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"
         )

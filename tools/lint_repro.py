@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific AST lints for the repro codebase.
 
-Four rules, each targeting a bug class this repository has actually
+Six rules, each targeting a bug class this repository has actually
 hit (or is one mutation away from hitting):
 
 RPR001  ndarray-in-boolean-context: a parameter annotated as an array
@@ -27,6 +27,13 @@ RPR005  legacy global-state RNG call (``np.random.normal(...)``,
         ``np.random.default_rng`` / ``Generator`` — the global stream
         makes fault-injection campaigns, Monte-Carlo yield runs and
         BIST golden vectors irreproducible and order-dependent.
+RPR006  wall-clock call (``time.time()``, ``time.monotonic()``,
+        ``datetime.now()``, …) inside ``repro.serving`` modules.  The
+        serving layer runs on a deterministic virtual clock (request
+        ``arrival_s`` timestamps); deadlines, backoff, breaker
+        cooldowns and chaos scenarios replay bit-identically only if
+        no real clock leaks in.  ``time.perf_counter`` stays allowed —
+        the bench harness intentionally measures host replay time.
 
 Run standalone or in CI::
 
@@ -48,7 +55,14 @@ import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
-ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+ALL_RULES = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR006",
+)
 
 #: Annotation substrings treated as "array-typed" for RPR001.
 ARRAY_ANNOTATION_TOKENS = (
@@ -68,6 +82,22 @@ RAW_LITERAL_LARGE = 1.0e3
 MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
 
 BACKEND_REQUIRED_METHODS = ("compute", "batch", "pairwise")
+
+#: Trailing dotted-name segments that read a real clock (RPR006).
+#: ``time.perf_counter`` is deliberately absent: the serving bench
+#: measures host replay time, which is wall-clock by design.
+WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+#: Bare-name calls flagged by RPR006 (``from time import monotonic``).
+WALL_CLOCK_BARE_NAMES = {"monotonic", "monotonic_ns", "time_ns"}
 
 #: ``np.random`` attributes that construct seeded generators rather
 #: than touching the legacy global stream (RPR005 exemptions).
@@ -372,6 +402,44 @@ def _lint_rpr005(
         )
 
 
+def _is_serving_module(path: Path) -> bool:
+    parts = path.parts
+    return "serving" in parts and "repro" in parts
+
+
+def _lint_rpr006(
+    tree: ast.AST, path: Path, findings: List[Finding]
+) -> None:
+    if not _is_serving_module(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            dotted = tuple(ast.unparse(func).split("."))
+            if dotted[-2:] in WALL_CLOCK_CALLS:
+                name = ".".join(dotted[-2:])
+        elif isinstance(func, ast.Name):
+            if func.id in WALL_CLOCK_BARE_NAMES:
+                name = func.id
+        if name is None:
+            continue
+        findings.append(
+            Finding(
+                str(path),
+                node.lineno,
+                node.col_offset,
+                "RPR006",
+                f"wall-clock call {name}(...) in a serving module; "
+                "the serving layer is virtual-time only (arrival_s "
+                "timestamps) — a real clock breaks deterministic "
+                "replay of deadlines, backoff and breaker cooldowns",
+            )
+        )
+
+
 def _strip_suppressed(
     findings: List[Finding], source: str
 ) -> List[Finding]:
@@ -408,6 +476,8 @@ def lint_source(
         _lint_rpr004(tree, path, findings)
     if "RPR005" in rules:
         _lint_rpr005(tree, Path(path), findings)
+    if "RPR006" in rules:
+        _lint_rpr006(tree, Path(path), findings)
     findings = _strip_suppressed(findings, source)
     return sorted(findings, key=lambda f: (f.path, f.line, f.col))
 
@@ -434,7 +504,7 @@ def lint_path(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="lint_repro",
-        description="repo-specific AST lints (RPR001-RPR005)",
+        description="repo-specific AST lints (RPR001-RPR006)",
     )
     parser.add_argument(
         "paths", nargs="+", type=Path, help="files or directories"
